@@ -1,0 +1,41 @@
+// Command lddump inspects an LLD-formatted disk image: superblock
+// geometry, checkpoint slots, and segment summaries (the on-disk log of
+// LLD's metadata).
+//
+// Usage:
+//
+//	lddump [-v] disk.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/disk"
+	"repro/internal/lld"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every block entry and tuple")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lddump [-v] <image>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
+		os.Exit(1)
+	}
+	d := disk.New(disk.DefaultConfig(info.Size()))
+	if err := d.LoadImage(path); err != nil {
+		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
+		os.Exit(1)
+	}
+	if err := lld.Dump(d, os.Stdout, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
+		os.Exit(1)
+	}
+}

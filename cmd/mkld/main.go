@@ -1,0 +1,98 @@
+// Command mkld creates a disk image file formatted with the log-structured
+// Logical Disk layout (superblock, checkpoint region, segments), optionally
+// with a MINIX LLD file system on top.
+//
+// Usage:
+//
+//	mkld -size 64M [-segment 512K] [-fs] disk.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/lld"
+	"repro/internal/minixfs"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func main() {
+	size := flag.String("size", "64M", "disk capacity (K/M/G suffixes)")
+	segment := flag.String("segment", "512K", "LLD segment size")
+	withFS := flag.Bool("fs", false, "also create a MINIX LLD file system (per-file lists)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mkld [-size N] [-segment N] [-fs] <image>")
+		os.Exit(2)
+	}
+	capacity, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: bad size: %v\n", err)
+		os.Exit(2)
+	}
+	segSize, err := parseSize(*segment)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: bad segment size: %v\n", err)
+		os.Exit(2)
+	}
+
+	d := disk.New(disk.DefaultConfig(capacity))
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = int(segSize)
+	if err := lld.Format(d, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: format: %v\n", err)
+		os.Exit(1)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: open: %v\n", err)
+		os.Exit(1)
+	}
+	if *withFS {
+		be, err := minixfs.FormatLD(l, 4096, minixfs.LDConfig{PerFileLists: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: fs backend: %v\n", err)
+			os.Exit(1)
+		}
+		fs, err := minixfs.Mkfs(be, minixfs.Config{BlockSize: 4096})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: mkfs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := fs.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: close fs: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := l.Shutdown(true); err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := d.SaveImage(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "mkld: save: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mkld: %s: %d MB, %d segments of %d KB%s\n",
+		flag.Arg(0), capacity>>20, l.SegmentCount(), segSize>>10,
+		map[bool]string{true: ", MINIX LLD file system", false: ""}[*withFS])
+}

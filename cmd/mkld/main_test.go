@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"64", 64, false},
+		{"4K", 4096, false},
+		{"4k", 4096, false},
+		{"32M", 32 << 20, false},
+		{"2G", 2 << 30, false},
+		{"2g", 2 << 30, false},
+		{"", 0, true},
+		{"12X", 0, true},
+		{"M", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("parseSize(%q): err=%v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("parseSize(%q)=%d want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "The Logical Disk: A
+// New Approach to Improving File Systems" (Wiebren de Jonge, M. Frans
+// Kaashoek, Wilson C. Hsieh; SOSP 1993).
+//
+// The repository contains the paper's primary contribution — the Logical
+// Disk interface (internal/ld) and its log-structured implementation LLD
+// (internal/lld) — together with every substrate the evaluation depends on:
+// a mechanically modeled simulated disk (internal/disk), a second
+// update-in-place LD implementation in the style the paper sketches in
+// §5.2 (internal/uld), the MINIX file
+// system with interchangeable bitmap and LD backends (internal/minixfs),
+// an FFS-like SunOS stand-in (internal/ffs), a B-tree file system over LD
+// (internal/btreefs), the Sprite LFS write-cost model (internal/spritelfs),
+// compression (internal/compress), and the benchmark workloads and harness
+// (internal/workload, internal/harness) that regenerate every table and
+// in-text measurement of the paper's Section 4.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate one table or figure each:
+//
+//	go test -bench=. -benchmem
+//
+// runs them all at a reduced scale; cmd/ldbench runs the same experiments
+// from the command line, up to the paper's full workload sizes (-scale 1).
+package repro

@@ -1,0 +1,117 @@
+// Crash recovery: demonstrates the all-or-nothing semantics of atomic
+// recovery units across a mid-operation power failure, including a torn
+// segment write, and the difference between a clean shutdown (checkpoint
+// fast restart) and a crash (one-sweep recovery).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ld"
+	"repro/internal/lld"
+)
+
+func main() {
+	stack, err := core.New(core.Config{DiskBytes: 32 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, l := stack.Disk, stack.LLD
+
+	list, err := l.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stable, _ := l.NewBlock(list, ld.NilBlock)
+	if err := l.Write(stable, []byte("stable state")); err != nil {
+		log.Fatal(err)
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flushed a stable state")
+
+	// Begin a multi-block update that must be atomic: a "file create"
+	// touching a data block and a directory block.
+	if err := l.BeginARU(); err != nil {
+		log.Fatal(err)
+	}
+	fileBlock, _ := l.NewBlock(list, stable)
+	if err := l.Write(fileBlock, []byte("new file contents")); err != nil {
+		log.Fatal(err)
+	}
+	if err := l.Write(stable, []byte("directory now references the new file")); err != nil {
+		log.Fatal(err)
+	}
+	// The unit is flushed to disk but never ended: the paper's recovery
+	// rule must discard it entirely.
+	if err := l.Flush(ld.FailPower); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote an *incomplete* atomic recovery unit to disk")
+
+	// Power failure: in-memory state gone.
+	if err := l.Shutdown(false); err != nil {
+		log.Fatal(err)
+	}
+	l2, err := lld.Open(d, lld.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := l2.Read(stable, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash #1 the directory reads %q — the half-done create vanished\n", buf[:n])
+	if blocks, _ := l2.ListBlocks(list); len(blocks) != 1 {
+		log.Fatalf("list has %d blocks, want 1", len(blocks))
+	}
+
+	// Now do it properly: end the unit before the crash.
+	if err := l2.BeginARU(); err != nil {
+		log.Fatal(err)
+	}
+	fb, _ := l2.NewBlock(list, stable)
+	l2.Write(fb, []byte("new file contents"))
+	l2.Write(stable, []byte("directory now references the new file"))
+	if err := l2.EndARU(); err != nil {
+		log.Fatal(err)
+	}
+	if err := l2.Flush(ld.FailPower); err != nil {
+		log.Fatal(err)
+	}
+
+	// This time, tear the *next* write mid-flight too: recovery must keep
+	// the committed unit and ignore the torn segment.
+	junk, _ := l2.NewBlock(list, fb)
+	l2.Write(junk, make([]byte, 4096))
+	d.InjectCrashAfterSectors(2)
+	_ = l2.Flush(ld.FailPower) // tears
+	_ = l2.Shutdown(false)
+	d.ClearCrash()
+
+	l3, err := lld.Open(d, lld.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err = l3.Read(stable, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after crash #2 (torn write) the directory reads %q — the committed ARU survived\n", buf[:n])
+
+	// Clean shutdown vs crash: a checkpointed shutdown restarts without
+	// sweeping a single summary.
+	if err := l3.Shutdown(true); err != nil {
+		log.Fatal(err)
+	}
+	l4, err := lld.Open(d, lld.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean restart swept %d summaries (crash recovery swept %d)\n",
+		l4.Stats().RecoverySweepSegments, l3.Stats().RecoverySweepSegments)
+}

@@ -1,0 +1,527 @@
+// Package btreefs is a B-tree key-value store built directly on the
+// Logical Disk — the "Database FS (B-trees)" client of the paper's
+// Figure 1. It demonstrates the LD facilities a database-style file system
+// wants:
+//
+//   - logical block numbers: tree nodes reference children by logical
+//     number, so LD may move nodes physically (cleaning, reorganization)
+//     without touching the tree;
+//   - atomic recovery units: every mutation (including multi-node splits)
+//     is wrapped in BeginARU/EndARU, so a crash never exposes a half-split
+//     tree;
+//   - offset addressing (§5.4): the tree's metadata lives at list index 0
+//     of its LD list, found with ListIndex instead of a fixed address.
+//
+// Deletion is by tombstone-free removal from the leaf; nodes are not
+// merged on underflow (they are reclaimed when the tree is dropped), a
+// simplification many production trees of the era shared.
+package btreefs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ld"
+)
+
+// Limits for keys and values.
+const (
+	MaxKeyLen   = 128
+	MaxValueLen = 1024
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("btreefs: key not found")
+	ErrKeyTooLong = errors.New("btreefs: key too long")
+	ErrValTooLong = errors.New("btreefs: value too long")
+	ErrCorrupt    = errors.New("btreefs: corrupt node")
+	ErrEmptyKey   = errors.New("btreefs: empty key")
+)
+
+// node kinds.
+const (
+	kindLeaf     = 1
+	kindInternal = 2
+)
+
+// Tree is a B-tree stored on a Logical Disk.
+type Tree struct {
+	l    ld.Disk
+	lid  ld.ListID
+	meta ld.BlockID // list index 0
+	bs   int
+
+	root   ld.BlockID
+	height int // 1 = root is a leaf
+	count  int64
+	last   ld.BlockID // allocation predecessor hint
+}
+
+// Create builds a new empty tree on its own LD list. pred positions the
+// tree's list in the list of lists (NilList for the front).
+func Create(l ld.Disk, pred ld.ListID) (*Tree, error) {
+	lid, err := l.NewList(pred, ld.ListHints{Cluster: true})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{l: l, lid: lid, bs: l.MaxBlockSize()}
+	if err := l.BeginARU(); err != nil {
+		return nil, err
+	}
+	t.meta, err = l.NewBlock(lid, ld.NilBlock)
+	if err != nil {
+		return nil, err
+	}
+	t.last = t.meta
+	t.root, err = t.alloc()
+	if err != nil {
+		return nil, err
+	}
+	t.height = 1
+	if err := t.writeNode(t.root, &node{kind: kindLeaf}); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, l.EndARU()
+}
+
+// Open attaches to an existing tree by its list id, locating the metadata
+// with offset addressing.
+func Open(l ld.Disk, lid ld.ListID) (*Tree, error) {
+	meta, err := l.ListIndex(lid, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{l: l, lid: lid, meta: meta, bs: l.MaxBlockSize()}
+	buf := make([]byte, t.bs)
+	n, err := l.Read(meta, buf)
+	if err != nil {
+		return nil, err
+	}
+	if n < 20 || le32(buf) != 0x42545230 { // "BTR0"
+		return nil, fmt.Errorf("%w: bad tree metadata", ErrCorrupt)
+	}
+	t.root = ld.BlockID(le32(buf[4:]))
+	t.height = int(le32(buf[8:]))
+	t.count = int64(le64(buf[12:]))
+	t.last = t.meta
+	return t, nil
+}
+
+// List returns the tree's LD list id.
+func (t *Tree) List() ld.ListID { return t.lid }
+
+// Count returns the number of keys in the tree.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Drop deletes the tree and all of its nodes in one LD call.
+func (t *Tree) Drop() error {
+	return t.l.DeleteList(t.lid, ld.NilList)
+}
+
+func (t *Tree) alloc() (ld.BlockID, error) {
+	b, err := t.l.NewBlock(t.lid, t.last)
+	if err != nil {
+		return ld.NilBlock, err
+	}
+	t.last = b
+	return b, nil
+}
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, 20)
+	put32(buf, 0x42545230)
+	put32(buf[4:], uint32(t.root))
+	put32(buf[8:], uint32(t.height))
+	put64(buf[12:], uint64(t.count))
+	return t.l.Write(t.meta, buf)
+}
+
+// ---- node representation ----
+
+type entry struct {
+	key   []byte
+	val   []byte     // leaf payload
+	child ld.BlockID // internal child (for keys >= entry.key side)
+}
+
+type node struct {
+	kind int
+	ents []entry
+	left ld.BlockID // internal: child for keys < ents[0].key
+}
+
+// encodedSize returns the node's on-disk size.
+func (n *node) encodedSize() int {
+	sz := 1 + 2 // kind + count
+	if n.kind == kindInternal {
+		sz += 4 // left child
+	}
+	for _, e := range n.ents {
+		sz += 2 + len(e.key)
+		if n.kind == kindLeaf {
+			sz += 2 + len(e.val)
+		} else {
+			sz += 4
+		}
+	}
+	return sz
+}
+
+func (n *node) encode() []byte {
+	buf := make([]byte, 0, n.encodedSize())
+	buf = append(buf, byte(n.kind))
+	buf = append(buf, byte(len(n.ents)), byte(len(n.ents)>>8))
+	if n.kind == kindInternal {
+		buf = append32(buf, uint32(n.left))
+	}
+	for _, e := range n.ents {
+		buf = append(buf, byte(len(e.key)), byte(len(e.key)>>8))
+		buf = append(buf, e.key...)
+		if n.kind == kindLeaf {
+			buf = append(buf, byte(len(e.val)), byte(len(e.val)>>8))
+			buf = append(buf, e.val...)
+		} else {
+			buf = append32(buf, uint32(e.child))
+		}
+	}
+	return buf
+}
+
+func decodeNode(buf []byte) (*node, error) {
+	if len(buf) < 3 {
+		return nil, ErrCorrupt
+	}
+	n := &node{kind: int(buf[0])}
+	if n.kind != kindLeaf && n.kind != kindInternal {
+		return nil, fmt.Errorf("%w: kind %d", ErrCorrupt, n.kind)
+	}
+	cnt := int(buf[1]) | int(buf[2])<<8
+	off := 3
+	if n.kind == kindInternal {
+		if off+4 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		n.left = ld.BlockID(le32(buf[off:]))
+		off += 4
+	}
+	for i := 0; i < cnt; i++ {
+		if off+2 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		kl := int(buf[off]) | int(buf[off+1])<<8
+		off += 2
+		if off+kl > len(buf) {
+			return nil, ErrCorrupt
+		}
+		e := entry{key: append([]byte(nil), buf[off:off+kl]...)}
+		off += kl
+		if n.kind == kindLeaf {
+			if off+2 > len(buf) {
+				return nil, ErrCorrupt
+			}
+			vl := int(buf[off]) | int(buf[off+1])<<8
+			off += 2
+			if off+vl > len(buf) {
+				return nil, ErrCorrupt
+			}
+			e.val = append([]byte(nil), buf[off:off+vl]...)
+			off += vl
+		} else {
+			if off+4 > len(buf) {
+				return nil, ErrCorrupt
+			}
+			e.child = ld.BlockID(le32(buf[off:]))
+			off += 4
+		}
+		n.ents = append(n.ents, e)
+	}
+	return n, nil
+}
+
+func (t *Tree) readNode(b ld.BlockID) (*node, error) {
+	buf := make([]byte, t.bs)
+	n, err := t.l.Read(b, buf)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(buf[:n])
+}
+
+func (t *Tree) writeNode(b ld.BlockID, n *node) error {
+	return t.l.Write(b, n.encode())
+}
+
+// ---- operations ----
+
+// Get returns the value for key, or ErrNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	if len(key) == 0 {
+		return nil, ErrEmptyKey
+	}
+	b := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(b)
+		if err != nil {
+			return nil, err
+		}
+		b = n.childFor(key)
+	}
+	leaf, err := t.readNode(b)
+	if err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(leaf.ents), func(i int) bool {
+		return bytes.Compare(leaf.ents[i].key, key) >= 0
+	})
+	if i < len(leaf.ents) && bytes.Equal(leaf.ents[i].key, key) {
+		return leaf.ents[i].val, nil
+	}
+	return nil, ErrNotFound
+}
+
+// childFor returns the child covering key in an internal node.
+func (n *node) childFor(key []byte) ld.BlockID {
+	i := sort.Search(len(n.ents), func(i int) bool {
+		return bytes.Compare(n.ents[i].key, key) > 0
+	})
+	if i == 0 {
+		return n.left
+	}
+	return n.ents[i-1].child
+}
+
+// Put inserts or replaces a key. The whole mutation — leaf write, any
+// splits up the tree, and the metadata update — is one atomic recovery
+// unit.
+func (t *Tree) Put(key, val []byte) error {
+	switch {
+	case len(key) == 0:
+		return ErrEmptyKey
+	case len(key) > MaxKeyLen:
+		return ErrKeyTooLong
+	case len(val) > MaxValueLen:
+		return ErrValTooLong
+	}
+	if err := t.l.BeginARU(); err != nil {
+		return err
+	}
+	added, sep, right, err := t.insert(t.root, t.height, key, val)
+	if err != nil {
+		t.l.EndARU()
+		return err
+	}
+	if right != ld.NilBlock {
+		// Root split: grow the tree.
+		newRoot, err := t.alloc()
+		if err != nil {
+			t.l.EndARU()
+			return err
+		}
+		nr := &node{kind: kindInternal, left: t.root, ents: []entry{{key: sep, child: right}}}
+		if err := t.writeNode(newRoot, nr); err != nil {
+			t.l.EndARU()
+			return err
+		}
+		t.root = newRoot
+		t.height++
+	}
+	if added {
+		t.count++
+	}
+	if err := t.writeMeta(); err != nil {
+		t.l.EndARU()
+		return err
+	}
+	return t.l.EndARU()
+}
+
+// insert descends to the leaf, inserting and splitting upward. It returns
+// whether a new key was added, and, if the node split, the separator key
+// and new right-sibling block.
+func (t *Tree) insert(b ld.BlockID, level int, key, val []byte) (bool, []byte, ld.BlockID, error) {
+	n, err := t.readNode(b)
+	if err != nil {
+		return false, nil, ld.NilBlock, err
+	}
+	var added bool
+	if level == 1 {
+		i := sort.Search(len(n.ents), func(i int) bool {
+			return bytes.Compare(n.ents[i].key, key) >= 0
+		})
+		if i < len(n.ents) && bytes.Equal(n.ents[i].key, key) {
+			n.ents[i].val = append([]byte(nil), val...)
+		} else {
+			n.ents = append(n.ents, entry{})
+			copy(n.ents[i+1:], n.ents[i:])
+			n.ents[i] = entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+			added = true
+		}
+	} else {
+		child := n.childFor(key)
+		a, sep, right, err := t.insert(child, level-1, key, val)
+		if err != nil {
+			return false, nil, ld.NilBlock, err
+		}
+		added = a
+		if right == ld.NilBlock {
+			return added, nil, ld.NilBlock, nil
+		}
+		i := sort.Search(len(n.ents), func(i int) bool {
+			return bytes.Compare(n.ents[i].key, sep) >= 0
+		})
+		n.ents = append(n.ents, entry{})
+		copy(n.ents[i+1:], n.ents[i:])
+		n.ents[i] = entry{key: sep, child: right}
+	}
+
+	if n.encodedSize() <= t.bs {
+		return added, nil, ld.NilBlock, t.writeNode(b, n)
+	}
+
+	// Split: move the upper half to a new right sibling.
+	mid := len(n.ents) / 2
+	var sep []byte
+	right := &node{kind: n.kind}
+	if n.kind == kindLeaf {
+		sep = append([]byte(nil), n.ents[mid].key...)
+		right.ents = append(right.ents, n.ents[mid:]...)
+		n.ents = n.ents[:mid]
+	} else {
+		sep = append([]byte(nil), n.ents[mid].key...)
+		right.left = n.ents[mid].child
+		right.ents = append(right.ents, n.ents[mid+1:]...)
+		n.ents = n.ents[:mid]
+	}
+	rb, err := t.alloc()
+	if err != nil {
+		return false, nil, ld.NilBlock, err
+	}
+	if err := t.writeNode(rb, right); err != nil {
+		return false, nil, ld.NilBlock, err
+	}
+	if err := t.writeNode(b, n); err != nil {
+		return false, nil, ld.NilBlock, err
+	}
+	return added, sep, rb, nil
+}
+
+// Delete removes a key. It is atomic like Put; ErrNotFound if absent.
+func (t *Tree) Delete(key []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	// Walk down remembering nothing: deletion only touches the leaf.
+	b := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(b)
+		if err != nil {
+			return err
+		}
+		b = n.childFor(key)
+	}
+	leaf, err := t.readNode(b)
+	if err != nil {
+		return err
+	}
+	i := sort.Search(len(leaf.ents), func(i int) bool {
+		return bytes.Compare(leaf.ents[i].key, key) >= 0
+	})
+	if i >= len(leaf.ents) || !bytes.Equal(leaf.ents[i].key, key) {
+		return ErrNotFound
+	}
+	if err := t.l.BeginARU(); err != nil {
+		return err
+	}
+	leaf.ents = append(leaf.ents[:i], leaf.ents[i+1:]...)
+	if err := t.writeNode(b, leaf); err != nil {
+		t.l.EndARU()
+		return err
+	}
+	t.count--
+	if err := t.writeMeta(); err != nil {
+		t.l.EndARU()
+		return err
+	}
+	return t.l.EndARU()
+}
+
+// Range calls fn for every key in [from, to) in order; nil bounds mean
+// unbounded. Returning false from fn stops the scan.
+func (t *Tree) Range(from, to []byte, fn func(key, val []byte) bool) error {
+	_, err := t.rangeWalk(t.root, t.height, from, to, fn)
+	return err
+}
+
+func (t *Tree) rangeWalk(b ld.BlockID, level int, from, to []byte, fn func(k, v []byte) bool) (bool, error) {
+	n, err := t.readNode(b)
+	if err != nil {
+		return false, err
+	}
+	if level == 1 {
+		for _, e := range n.ents {
+			if from != nil && bytes.Compare(e.key, from) < 0 {
+				continue
+			}
+			if to != nil && bytes.Compare(e.key, to) >= 0 {
+				return false, nil
+			}
+			if !fn(e.key, e.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	children := append([]ld.BlockID{n.left}, make([]ld.BlockID, 0, len(n.ents))...)
+	for _, e := range n.ents {
+		children = append(children, e.child)
+	}
+	for i, c := range children {
+		// Prune subtrees entirely below 'from'.
+		if from != nil && i < len(n.ents) && bytes.Compare(n.ents[i].key, from) <= 0 {
+			continue
+		}
+		cont, err := t.rangeWalk(c, level-1, from, to, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+		if to != nil && i < len(n.ents) && bytes.Compare(n.ents[i].key, to) >= 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Flush makes all completed mutations durable via FlushList (§2.2).
+func (t *Tree) Flush() error { return t.l.FlushList(t.lid) }
+
+// ---- encoding helpers ----
+
+func le32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func le64(p []byte) uint64 {
+	return uint64(le32(p)) | uint64(le32(p[4:]))<<32
+}
+
+func put32(p []byte, v uint32) {
+	p[0], p[1], p[2], p[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func put64(p []byte, v uint64) {
+	put32(p, uint32(v))
+	put32(p[4:], uint32(v>>32))
+}
+
+func append32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

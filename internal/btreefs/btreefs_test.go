@@ -1,0 +1,302 @@
+package btreefs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+)
+
+func newTree(t *testing.T) (*disk.Disk, *lld.LLD, *Tree) {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 128 * 1024
+	if err := lld.Format(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(l, ld.NilList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, l, tr
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, _, tr := newTree(t)
+	if err := tr.Put([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("beta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Get([]byte("alpha"))
+	if err != nil || string(v) != "1" {
+		t.Fatalf("get alpha: %q %v", v, err)
+	}
+	// Replace.
+	if err := tr.Put([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = tr.Get([]byte("alpha"))
+	if string(v) != "one" {
+		t.Fatalf("replaced value %q", v)
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("count %d", tr.Count())
+	}
+	if err := tr.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Get([]byte("alpha")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if err := tr.Delete([]byte("alpha")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("count %d", tr.Count())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, _, tr := newTree(t)
+	if err := tr.Put(nil, []byte("v")); !errors.Is(err, ErrEmptyKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if err := tr.Put(bytes.Repeat([]byte{1}, MaxKeyLen+1), nil); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("long key: %v", err)
+	}
+	if err := tr.Put([]byte("k"), bytes.Repeat([]byte{1}, MaxValueLen+1)); !errors.Is(err, ErrValTooLong) {
+		t.Fatalf("long value: %v", err)
+	}
+}
+
+func TestSplitsAndHeightGrowth(t *testing.T) {
+	_, _, tr := newTree(t)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := bytes.Repeat([]byte{byte(i)}, 100)
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree never split: height %d", tr.Height())
+	}
+	if tr.Count() != n {
+		t.Fatalf("count %d", tr.Count())
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, err := tr.Get(k)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if len(v) != 100 || v[0] != byte(i) {
+			t.Fatalf("value %d wrong", i)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	_, _, tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("k%04d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Range([]byte("k0100"), []byte("k0200"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("range returned %d keys", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("range not sorted")
+	}
+	if got[0] != "k0100" || got[99] != "k0199" {
+		t.Fatalf("bounds: %s .. %s", got[0], got[99])
+	}
+	// Early stop.
+	calls := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool {
+		calls++
+		return calls < 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("early stop after %d calls", calls)
+	}
+}
+
+func TestOpenExistingTree(t *testing.T) {
+	_, l, tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("p%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr2, err := Open(l, tr.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count() != 100 {
+		t.Fatalf("reopened count %d", tr2.Count())
+	}
+	if _, err := tr2.Get([]byte("p042")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashAtomicity checks the headline property: a crash between a
+// flushed state and unflushed mutations rolls back to the flushed state,
+// and mid-mutation states (half-splits) are never observable.
+func TestCrashAtomicity(t *testing.T) {
+	d, l, tr := newTree(t)
+	for i := 0; i < 800; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("stable-%04d", i)), []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Unflushed mutations, including ones that force splits.
+	for i := 0; i < 300; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("volatile-%04d", i)), bytes.Repeat([]byte{7}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash.
+	if err := l.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 128 * 1024
+	l2, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(l2, tr.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All stable keys present; the tree must be structurally sound.
+	for i := 0; i < 800; i++ {
+		if _, err := tr2.Get([]byte(fmt.Sprintf("stable-%04d", i))); err != nil {
+			t.Fatalf("stable key %d lost: %v", i, err)
+		}
+	}
+	// Count must be consistent with a prefix of committed operations: no
+	// torn mutation may be visible.
+	seen := 0
+	if err := tr2.Range(nil, nil, func(k, v []byte) bool {
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(seen) != tr2.Count() {
+		t.Fatalf("range saw %d keys, metadata says %d — torn mutation visible", seen, tr2.Count())
+	}
+	if seen < 800 {
+		t.Fatalf("flushed keys missing: %d", seen)
+	}
+}
+
+func TestQuickShadowMap(t *testing.T) {
+	_, _, tr := newTree(t)
+	shadow := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(21))
+	for step := 0; step < 2000; step++ {
+		k := []byte(fmt.Sprintf("key%03d", rng.Intn(300)))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := make([]byte, rng.Intn(150))
+			rng.Read(v)
+			if err := tr.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			shadow[string(k)] = v
+		case 2:
+			err := tr.Delete(k)
+			if _, ok := shadow[string(k)]; ok {
+				if err != nil {
+					t.Fatalf("delete existing: %v", err)
+				}
+				delete(shadow, string(k))
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("delete missing: %v", err)
+			}
+		case 3:
+			v, err := tr.Get(k)
+			want, ok := shadow[string(k)]
+			if ok {
+				if err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("get mismatch at %d", step)
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("ghost key: %v", err)
+			}
+		}
+	}
+	if int(tr.Count()) != len(shadow) {
+		t.Fatalf("count %d, shadow %d", tr.Count(), len(shadow))
+	}
+	// Full ordered scan agrees with the shadow.
+	keys := make([]string, 0, len(shadow))
+	for k := range shadow {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	if err := tr.Range(nil, nil, func(k, v []byte) bool {
+		if i >= len(keys) || string(k) != keys[i] || !bytes.Equal(v, shadow[keys[i]]) {
+			t.Fatalf("scan diverges at %d (%s)", i, k)
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("scan saw %d of %d", i, len(keys))
+	}
+}
+
+func TestDropReclaimsSpace(t *testing.T) {
+	_, l, tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("d%04d", i)), bytes.Repeat([]byte{1}, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.LiveBytes()
+	if before == 0 {
+		t.Fatal("no live bytes")
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if l.LiveBytes() >= before {
+		t.Fatalf("Drop reclaimed nothing: %d -> %d", before, l.LiveBytes())
+	}
+}

@@ -1,0 +1,117 @@
+package btreefs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/uld"
+)
+
+// TestQuickRangeQueries checks arbitrary range scans against a sorted
+// shadow for random key populations and random bounds.
+func TestQuickRangeQueries(t *testing.T) {
+	_, _, tr := newTree(t)
+	rng := rand.New(rand.NewSource(31))
+	shadow := make(map[string][]byte)
+	for i := 0; i < 1200; i++ {
+		k := fmt.Sprintf("%05d", rng.Intn(5000))
+		v := []byte{byte(i), byte(i >> 8)}
+		if err := tr.Put([]byte(k), v); err != nil {
+			t.Fatal(err)
+		}
+		shadow[k] = v
+	}
+	keys := make([]string, 0, len(shadow))
+	for k := range shadow {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for trial := 0; trial < 50; trial++ {
+		var from, to []byte
+		if rng.Intn(4) != 0 {
+			from = []byte(fmt.Sprintf("%05d", rng.Intn(5200)))
+		}
+		if rng.Intn(4) != 0 {
+			to = []byte(fmt.Sprintf("%05d", rng.Intn(5200)))
+		}
+		var want []string
+		for _, k := range keys {
+			if from != nil && k < string(from) {
+				continue
+			}
+			if to != nil && k >= string(to) {
+				break
+			}
+			want = append(want, k)
+		}
+		var got []string
+		err := tr.Range(from, to, func(k, v []byte) bool {
+			got = append(got, string(k))
+			if !bytes.Equal(v, shadow[string(k)]) {
+				t.Fatalf("value mismatch for %s", k)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d [%s,%s): got %d keys, want %d", trial, from, to, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d: %s vs %s", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTreeOnULD runs the B-tree on the update-in-place LD: the database
+// file system is as portable across LD implementations as MINIX is.
+func TestTreeOnULD(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	if err := uld.Format(d, uld.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	u, err := uld.Open(d, uld.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(u, ld.NilList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 800; i++ {
+		if err := tr.Put([]byte(fmt.Sprintf("u%04d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the ULD and reopen: committed mutations survive.
+	if err := u.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := uld.Open(d, uld.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(u2, tr.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count() != 800 {
+		t.Fatalf("count %d after ULD crash", tr2.Count())
+	}
+	v, err := tr2.Get([]byte("u0123"))
+	if err != nil || v[0] != 123 {
+		t.Fatalf("get: %v %v", v, err)
+	}
+}

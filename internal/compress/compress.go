@@ -1,0 +1,216 @@
+// Package compress implements the byte-oriented compression LLD uses for
+// lists created with the Compress hint (paper §3.3). The paper used an
+// algorithm due to Wheeler chosen "for its simplicity and performance" and
+// reports a compression ratio of about 60% on file system data; this
+// package provides an LZ77-style compressor with the same character: a
+// single-pass greedy matcher over a hash table, fast enough that (as the
+// paper assumes) compression bandwidth, not algorithmic complexity, is the
+// knob that matters. The benchmark harness models compression bandwidth
+// separately; this package provides the actual bytes-in/bytes-out
+// transform so compressed images on the simulated disk are real.
+//
+// Format: a sequence of tokens. Each token is
+//
+//	tag byte: high nibble = literal count (15 = extended),
+//	          low nibble  = match length - 4 (15 = extended)
+//	[extended literal count bytes: 255-valued continuations]
+//	literal bytes
+//	[2-byte little-endian match offset (1-based, back from current pos)]
+//	[extended match length bytes]
+//
+// The stream ends immediately after the literals of the final token (no
+// offset follows). A match length nibble is meaningful only when an offset
+// follows.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when a compressed stream is malformed.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+const (
+	minMatch  = 4
+	hashBits  = 13
+	hashSize  = 1 << hashBits
+	maxOffset = 1 << 16
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> (32 - hashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// result. Compress never fails; callers that require the output to be
+// smaller than the input (as LLD does) must compare lengths and fall back
+// to storing the data raw.
+func Compress(dst, src []byte) []byte {
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+
+	n := len(src)
+	litStart := 0
+	i := 0
+	for i+minMatch <= n {
+		h := hash4(load32(src, i))
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand >= 0 && i-cand < maxOffset && load32(src, cand) == load32(src, i) {
+			// Extend the match.
+			mlen := minMatch
+			for i+mlen < n && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			dst = emitToken(dst, src[litStart:i], i-cand, mlen)
+			// Insert a few positions inside the match to keep the table
+			// warm without paying for every byte.
+			end := i + mlen
+			for j := i + 1; j < end && j+minMatch <= n; j += 2 {
+				table[hash4(load32(src, j))] = int32(j)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		i++
+	}
+	if litStart < n || n == 0 {
+		dst = emitToken(dst, src[litStart:], 0, 0)
+	}
+	return dst
+}
+
+// emitToken appends one token: the literals, then (if mlen >= minMatch) the
+// match descriptor.
+func emitToken(dst, lits []byte, offset, mlen int) []byte {
+	litLen := len(lits)
+	tag := byte(0)
+	if litLen < 15 {
+		tag = byte(litLen) << 4
+	} else {
+		tag = 15 << 4
+	}
+	hasMatch := mlen >= minMatch
+	if hasMatch {
+		m := mlen - minMatch
+		if m < 15 {
+			tag |= byte(m)
+		} else {
+			tag |= 15
+		}
+	}
+	dst = append(dst, tag)
+	if litLen >= 15 {
+		dst = appendExtended(dst, litLen-15)
+	}
+	dst = append(dst, lits...)
+	if hasMatch {
+		var off [2]byte
+		binary.LittleEndian.PutUint16(off[:], uint16(offset))
+		dst = append(dst, off[0], off[1])
+		if mlen-minMatch >= 15 {
+			dst = appendExtended(dst, mlen-minMatch-15)
+		}
+	}
+	return dst
+}
+
+func appendExtended(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress appends the decompressed form of src to dst and returns the
+// result. maxSize bounds the output to guard against corrupt streams; pass
+// a negative value for no bound.
+func Decompress(dst, src []byte, maxSize int) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	n := len(src)
+	for i < n {
+		tag := src[i]
+		i++
+		litLen := int(tag >> 4)
+		if litLen == 15 {
+			ext, ni, err := readExtended(src, i)
+			if err != nil {
+				return nil, err
+			}
+			litLen += ext
+			i = ni
+		}
+		if i+litLen > n {
+			return nil, fmt.Errorf("%w: literal run past end", ErrCorrupt)
+		}
+		dst = append(dst, src[i:i+litLen]...)
+		i += litLen
+		if maxSize >= 0 && len(dst)-base > maxSize {
+			return nil, fmt.Errorf("%w: output exceeds %d bytes", ErrCorrupt, maxSize)
+		}
+		if i == n {
+			break // final token carries no match
+		}
+		if i+2 > n {
+			return nil, fmt.Errorf("%w: truncated match offset", ErrCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(src[i:]))
+		i += 2
+		mlen := int(tag&15) + minMatch
+		if tag&15 == 15 {
+			ext, ni, err := readExtended(src, i)
+			if err != nil {
+				return nil, err
+			}
+			mlen += ext
+			i = ni
+		}
+		if offset == 0 || offset > len(dst)-base {
+			return nil, fmt.Errorf("%w: bad match offset %d", ErrCorrupt, offset)
+		}
+		if maxSize >= 0 && len(dst)-base+mlen > maxSize {
+			return nil, fmt.Errorf("%w: output exceeds %d bytes", ErrCorrupt, maxSize)
+		}
+		// Byte-at-a-time copy: matches may overlap their own output.
+		pos := len(dst) - offset
+		for k := 0; k < mlen; k++ {
+			dst = append(dst, dst[pos+k])
+		}
+	}
+	return dst, nil
+}
+
+func readExtended(src []byte, i int) (int, int, error) {
+	v := 0
+	for {
+		if i >= len(src) {
+			return 0, 0, fmt.Errorf("%w: truncated extended length", ErrCorrupt)
+		}
+		b := src[i]
+		i++
+		v += int(b)
+		if b != 255 {
+			return v, i, nil
+		}
+	}
+}
+
+// Ratio returns compressedLen / originalLen; by the paper's convention a
+// "compression ratio of 60%" means the output is 60% of the input size.
+func Ratio(originalLen, compressedLen int) float64 {
+	if originalLen == 0 {
+		return 1
+	}
+	return float64(compressedLen) / float64(originalLen)
+}

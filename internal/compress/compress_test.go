@@ -1,0 +1,215 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	c := Compress(nil, src)
+	out, err := Decompress(nil, c, -1)
+	if err != nil {
+		t.Fatalf("decompress: %v (input len %d)", err, len(src))
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: in %d bytes, out %d bytes", len(src), len(out))
+	}
+	return c
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	c := roundTrip(t, nil)
+	if len(c) == 0 {
+		t.Fatal("empty input should still produce a terminating token")
+	}
+}
+
+func TestRoundTripShort(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		roundTrip(t, []byte("abcdefgh")[:i])
+	}
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 1024)
+	c := roundTrip(t, src)
+	if len(c) >= len(src)/4 {
+		t.Fatalf("highly repetitive input compressed poorly: %d -> %d", len(src), len(c))
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	src := []byte(strings.Repeat("the logical disk separates file management from disk management. ", 200))
+	c := roundTrip(t, src)
+	if Ratio(len(src), len(c)) > 0.5 {
+		t.Fatalf("text ratio %.2f, expected < 0.5", Ratio(len(src), len(c)))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := make([]byte, 64*1024)
+	rng.Read(src)
+	c := roundTrip(t, src)
+	// Random data should expand only slightly.
+	if len(c) > len(src)+len(src)/16+16 {
+		t.Fatalf("random data expanded too much: %d -> %d", len(src), len(c))
+	}
+}
+
+func TestRoundTripOverlappingMatches(t *testing.T) {
+	// RLE-like data exercises overlapping copies (offset < length).
+	roundTrip(t, bytes.Repeat([]byte{0xAB}, 10000))
+	roundTrip(t, bytes.Repeat([]byte{1, 2}, 5000))
+	roundTrip(t, bytes.Repeat([]byte{1, 2, 3}, 3333))
+}
+
+func TestRoundTripLongLiteralRuns(t *testing.T) {
+	// > 15 literals forces the extended literal length path.
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 1000)
+	rng.Read(src)
+	roundTrip(t, src)
+}
+
+func TestRoundTripLongMatches(t *testing.T) {
+	// Matches longer than 15+minMatch force extended match lengths.
+	src := append([]byte("prefix-material-"), bytes.Repeat([]byte{'x'}, 5000)...)
+	roundTrip(t, src)
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0xF0},            // extended literal length, then nothing
+		{0x10},            // 1 literal promised, none present
+		{0x01, 'a'},       // match promised, no offset
+		{0x01, 'a', 0, 0}, // zero offset
+		{0x01, 'a', 9, 0}, // offset beyond output
+		{0x0F, 'a', 1, 0}, // extended match length, truncated
+	}
+	for i, c := range cases {
+		if _, err := Decompress(nil, c, -1); err == nil {
+			t.Errorf("case %d: corrupt stream accepted", i)
+		}
+	}
+}
+
+func TestDecompressMaxSize(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 1024)
+	c := Compress(nil, src)
+	if _, err := Decompress(nil, c, len(src)); err != nil {
+		t.Fatalf("exact maxSize rejected: %v", err)
+	}
+	if _, err := Decompress(nil, c, len(src)-1); err == nil {
+		t.Fatal("undersized maxSize accepted")
+	}
+}
+
+func TestDecompressAppendsToDst(t *testing.T) {
+	prefix := []byte("prefix")
+	src := []byte("hello hello hello hello hello")
+	c := Compress(nil, src)
+	out, err := Decompress(append([]byte(nil), prefix...), c, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	if !bytes.Equal(out[len(prefix):], src) {
+		t.Fatal("appended output wrong")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		c := Compress(nil, data)
+		out, err := Decompress(nil, c, -1)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structured inputs (slices of small runs) also round trip; this
+// generator produces more matches than uniform random bytes.
+func TestQuickRoundTripStructured(t *testing.T) {
+	f := func(runs []uint8, alphabet uint8) bool {
+		var src []byte
+		a := int(alphabet)%7 + 1
+		for i, r := range runs {
+			b := byte(i % a)
+			src = append(src, bytes.Repeat([]byte{b}, int(r)%67)...)
+		}
+		c := Compress(nil, src)
+		out, err := Decompress(nil, c, -1)
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticDataTargetsRatio(t *testing.T) {
+	for _, target := range []float64{0.4, 0.6, 0.8} {
+		data := SyntheticData(256*1024, target, 1)
+		if len(data) != 256*1024 {
+			t.Fatalf("wrong length %d", len(data))
+		}
+		c := Compress(nil, data)
+		r := Ratio(len(data), len(c))
+		if r < target-0.15 || r > target+0.15 {
+			t.Errorf("target %.2f: achieved %.2f", target, r)
+		}
+		roundTrip(t, data)
+	}
+}
+
+func TestSyntheticDataDeterministic(t *testing.T) {
+	a := SyntheticData(4096, 0.6, 99)
+	b := SyntheticData(4096, 0.6, 99)
+	if !bytes.Equal(a, b) {
+		t.Fatal("SyntheticData not deterministic for equal seeds")
+	}
+}
+
+func TestSyntheticDataIncompressible(t *testing.T) {
+	data := SyntheticData(4096, 1.0, 5)
+	c := Compress(nil, data)
+	if Ratio(len(data), len(c)) < 0.95 {
+		t.Fatalf("ratio-1.0 data compressed to %.2f", Ratio(len(data), len(c)))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(0, 10) != 1 {
+		t.Fatal("zero-length original should report ratio 1")
+	}
+	if Ratio(100, 60) != 0.6 {
+		t.Fatalf("Ratio(100,60)=%v", Ratio(100, 60))
+	}
+}
+
+func BenchmarkCompress4K(b *testing.B) {
+	data := SyntheticData(4096, 0.6, 3)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Compress(nil, data)
+	}
+}
+
+func BenchmarkDecompress4K(b *testing.B) {
+	data := SyntheticData(4096, 0.6, 3)
+	c := Compress(nil, data)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(nil, c, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

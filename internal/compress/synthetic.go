@@ -1,0 +1,65 @@
+package compress
+
+import "math/rand"
+
+// SyntheticData returns n bytes whose compressibility under this package's
+// compressor approximates targetRatio (output/input, per the paper's 60%
+// convention). It mixes incompressible random bytes with long runs drawn
+// from a tiny alphabet; the mix fraction is chosen by a short calibration
+// search. The generator is deterministic for a given seed.
+func SyntheticData(n int, targetRatio float64, seed int64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if targetRatio >= 1 {
+		out := make([]byte, n)
+		rand.New(rand.NewSource(seed)).Read(out)
+		return out
+	}
+	if targetRatio < 0.05 {
+		targetRatio = 0.05
+	}
+	// Binary-search the fraction of compressible content.
+	lo, hi := 0.0, 1.0
+	var best []byte
+	for iter := 0; iter < 8; iter++ {
+		frac := (lo + hi) / 2
+		data := mixData(n, frac, seed)
+		c := Compress(nil, data)
+		r := Ratio(n, len(c))
+		best = data
+		if r > targetRatio {
+			// Not compressible enough: raise the compressible fraction.
+			lo = frac
+		} else {
+			hi = frac
+		}
+		if diff := r - targetRatio; diff < 0.02 && diff > -0.02 {
+			break
+		}
+	}
+	return best
+}
+
+// mixData builds n bytes where frac of the content is redundant (repeated
+// phrases) and the rest is random.
+func mixData(n int, frac float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	phrase := []byte("the quick brown fox jumps over the lazy dog 0123456789 ")
+	for len(out) < n {
+		if rng.Float64() < frac {
+			// A run of repeated phrase material.
+			runLen := 32 + rng.Intn(96)
+			for i := 0; i < runLen && len(out) < n; i++ {
+				out = append(out, phrase[i%len(phrase)])
+			}
+		} else {
+			runLen := 16 + rng.Intn(48)
+			for i := 0; i < runLen && len(out) < n; i++ {
+				out = append(out, byte(rng.Intn(256)))
+			}
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,75 @@
+// Package core wires the pieces of the Logical Disk reproduction together:
+// it creates a simulated disk, formats it with the log-structured LD
+// implementation, and hands back the ld.Disk interface the paper defines.
+// File systems and applications program against ld.Disk; the choice of
+// implementation (and of physical disk) stays behind this facade, which is
+// the modularity argument of the paper's Figure 1.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+)
+
+// Version identifies this reproduction of the SOSP '93 Logical Disk.
+const Version = "1.0.0"
+
+// Config bundles the knobs for creating a complete LD stack.
+type Config struct {
+	// DiskBytes is the simulated disk capacity. Zero defaults to the
+	// paper's 400-MB measurement partition.
+	DiskBytes int64
+	// Disk optionally overrides the mechanical model. If nil, a disk
+	// modeled on the paper's HP C3010 is created.
+	Disk *disk.Config
+	// LLD configures the log-structured implementation. The zero value
+	// means lld.DefaultOptions (512-KB segments, 4-KB blocks, 75% flush
+	// threshold).
+	LLD *lld.Options
+}
+
+// Stack is a running Logical Disk on a simulated physical disk.
+type Stack struct {
+	Disk *disk.Disk
+	LLD  *lld.LLD
+}
+
+// LD returns the paper's Logical Disk interface for this stack.
+func (s *Stack) LD() ld.Disk { return s.LLD }
+
+// New creates a fresh disk, formats it, and opens a Logical Disk on it.
+func New(cfg Config) (*Stack, error) {
+	if cfg.DiskBytes == 0 {
+		cfg.DiskBytes = 400 << 20
+	}
+	dcfg := disk.DefaultConfig(cfg.DiskBytes)
+	if cfg.Disk != nil {
+		dcfg = *cfg.Disk
+	}
+	d := disk.New(dcfg)
+	opts := lld.DefaultOptions()
+	if cfg.LLD != nil {
+		opts = *cfg.LLD
+	}
+	if err := lld.Format(d, opts); err != nil {
+		return nil, fmt.Errorf("core: format: %w", err)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: open: %w", err)
+	}
+	return &Stack{Disk: d, LLD: l}, nil
+}
+
+// Reopen re-attaches to an existing disk, running checkpoint restart or
+// one-sweep crash recovery as appropriate.
+func Reopen(d *disk.Disk, opts lld.Options) (*Stack, error) {
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen: %w", err)
+	}
+	return &Stack{Disk: d, LLD: l}, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ld"
+	"repro/internal/lld"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := New(Config{DiskBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LD() == nil || s.Disk == nil || s.LLD == nil {
+		t.Fatal("incomplete stack")
+	}
+	if s.LLD.SegmentSize() != 512*1024 {
+		t.Fatalf("segment size %d, want the paper's 512 KB", s.LLD.SegmentSize())
+	}
+	// The stack is usable end to end.
+	lid, err := s.LD().NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.LD().NewBlock(lid, ld.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LD().Write(b, []byte("via the facade")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := s.LD().Read(b, buf)
+	if err != nil || string(buf[:n]) != "via the facade" {
+		t.Fatalf("read back %q, %v", buf[:n], err)
+	}
+}
+
+func TestNewCustomOptions(t *testing.T) {
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 128 * 1024
+	s, err := New(Config{DiskBytes: 16 << 20, LLD: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LLD.SegmentSize() != 128*1024 {
+		t.Fatalf("segment size %d", s.LLD.SegmentSize())
+	}
+}
+
+func TestReopenAfterCrash(t *testing.T) {
+	s, err := New(Config{DiskBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lid, _ := s.LD().NewList(ld.NilList, ld.ListHints{})
+	b, _ := s.LD().NewBlock(lid, ld.NilBlock)
+	if err := s.LD().Write(b, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LD().Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LD().Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Reopen(s.Disk, lld.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := s2.LD().Read(b, buf)
+	if err != nil || string(buf[:n]) != "durable" {
+		t.Fatalf("reopen read %q, %v", buf[:n], err)
+	}
+}
+
+func TestNewTooSmall(t *testing.T) {
+	if _, err := New(Config{DiskBytes: 1 << 20}); err == nil {
+		t.Fatal("1-MB disk with 512-KB segments should not format")
+	}
+}

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ld"
+)
+
+// Example shows the minimal Logical Disk workflow: create the stack, make
+// a list, allocate and write a block, and read it back.
+func Example() {
+	stack, err := core.New(core.Config{DiskBytes: 16 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk := stack.LD()
+
+	list, _ := disk.NewList(ld.NilList, ld.ListHints{Cluster: true})
+	block, _ := disk.NewBlock(list, ld.NilBlock)
+	_ = disk.Write(block, []byte("hello"))
+	_ = disk.Flush(ld.FailPower)
+
+	buf := make([]byte, 16)
+	n, _ := disk.Read(block, buf)
+	fmt.Println(string(buf[:n]))
+	// Output: hello
+}

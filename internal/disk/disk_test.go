@@ -1,0 +1,409 @@
+package disk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConfig(capacity int64) Config { return DefaultConfig(capacity) }
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig(1 << 20)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.SectorSize = 0 },
+		func(c *Config) { c.SectorsPerTrack = -1 },
+		func(c *Config) { c.Heads = 0 },
+		func(c *Config) { c.Cylinders = 0 },
+		func(c *Config) { c.RPM = 0 },
+	}
+	for i, mut := range cases {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCapacityRoundsUpToCylinder(t *testing.T) {
+	c := testConfig(1000)
+	if c.Capacity() < 1000 {
+		t.Fatalf("capacity %d smaller than requested", c.Capacity())
+	}
+	cylBytes := int64(c.SectorSize * c.SectorsPerTrack * c.Heads)
+	if c.Capacity()%cylBytes != 0 {
+		t.Fatalf("capacity %d not a whole number of cylinders", c.Capacity())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	ss := d.SectorSize()
+	data := make([]byte, 4*ss)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := d.WriteAt(data, int64(8*ss)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, int64(8*ss)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestAlignmentAndRangeChecks(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	buf := make([]byte, d.SectorSize())
+	if err := d.ReadAt(buf, 1); err == nil {
+		t.Error("unaligned offset accepted")
+	}
+	if err := d.ReadAt(buf[:7], 0); err == nil {
+		t.Error("unaligned length accepted")
+	}
+	if err := d.WriteAt(buf, d.Capacity()); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := d.ReadAt(buf, -int64(d.SectorSize())); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestClockAdvancesOnIO(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	before := d.Now()
+	buf := make([]byte, 4096)
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Now() <= before {
+		t.Fatal("virtual clock did not advance on write")
+	}
+	mid := d.Now()
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Now() <= mid {
+		t.Fatal("virtual clock did not advance on read")
+	}
+}
+
+func TestAdvanceIdle(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	d.AdvanceIdle(5 * time.Millisecond)
+	if d.Now() != 5*time.Millisecond {
+		t.Fatalf("Now=%v, want 5ms", d.Now())
+	}
+	d.AdvanceIdle(-time.Second) // negative durations are ignored
+	if d.Now() != 5*time.Millisecond {
+		t.Fatalf("negative AdvanceIdle changed clock to %v", d.Now())
+	}
+	if d.Stats().IdleTime != 5*time.Millisecond {
+		t.Fatalf("IdleTime=%v", d.Stats().IdleTime)
+	}
+}
+
+// TestLargeWriteBandwidth verifies the paper's raw anchor: writing 0.5-MB
+// chunks back to back should achieve on the order of 2400 KB/s.
+func TestLargeWriteBandwidth(t *testing.T) {
+	d := New(testConfig(64 << 20))
+	const chunk = 512 * 1024
+	buf := make([]byte, chunk)
+	const n = 32
+	start := d.Now()
+	for i := 0; i < n; i++ {
+		if err := d.WriteAt(buf, int64(i)*chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := d.Now() - start
+	kbs := float64(n*chunk) / 1024 / elapsed.Seconds()
+	if kbs < 1800 || kbs > 3200 {
+		t.Fatalf("0.5-MB sequential write bandwidth = %.0f KB/s, want ~2400", kbs)
+	}
+}
+
+// TestSmallWriteBandwidth verifies the paper's other anchor: back-to-back
+// 4-KB writes achieve only ~300 KB/s because each write misses a rotation.
+func TestSmallWriteBandwidth(t *testing.T) {
+	d := New(testConfig(64 << 20))
+	const chunk = 4096
+	buf := make([]byte, chunk)
+	const n = 256
+	start := d.Now()
+	for i := 0; i < n; i++ {
+		if err := d.WriteAt(buf, int64(i)*chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := d.Now() - start
+	kbs := float64(n*chunk) / 1024 / elapsed.Seconds()
+	if kbs < 200 || kbs > 500 {
+		t.Fatalf("4-KB back-to-back write bandwidth = %.0f KB/s, want ~300", kbs)
+	}
+	// The small-write penalty must be large relative to big writes.
+	if kbs > 1000 {
+		t.Fatalf("small writes too fast (%.0f KB/s); rotation miss not modeled", kbs)
+	}
+}
+
+func TestSeekTimeMonotonic(t *testing.T) {
+	d := New(testConfig(256 << 20))
+	prev := time.Duration(0)
+	c := d.Config().Cylinders
+	for _, dist := range []int{1, 2, 4, 16, 64, c / 2, c - 1} {
+		if dist <= 0 || dist >= c {
+			continue
+		}
+		st := d.seekTime(0, dist)
+		if st < prev {
+			t.Fatalf("seek time not monotonic at distance %d: %v < %v", dist, st, prev)
+		}
+		prev = st
+	}
+	if d.seekTime(5, 5) != 0 {
+		t.Fatal("zero-distance seek should cost nothing")
+	}
+}
+
+func TestCrashInjectionTearsWrite(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	ss := d.SectorSize()
+	// Fill the target area with a known pattern first.
+	old := bytes.Repeat([]byte{0xAA}, 8*ss)
+	if err := d.WriteAt(old, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Now allow only 3 more sectors before the crash.
+	d.InjectCrashAfterSectors(3)
+	neu := bytes.Repeat([]byte{0xBB}, 8*ss)
+	err := d.WriteAt(neu, 0)
+	if err != ErrCrashed {
+		t.Fatalf("torn write returned %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk should be in crashed state")
+	}
+	// Further I/O fails.
+	if err := d.ReadAt(make([]byte, ss), 0); err != ErrCrashed {
+		t.Fatalf("post-crash read returned %v, want ErrCrashed", err)
+	}
+	// Reboot and verify the tear: first 3 sectors new, rest old.
+	d.ClearCrash()
+	got := make([]byte, 8*ss)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:3*ss], neu[:3*ss]) {
+		t.Fatal("written prefix lost")
+	}
+	if !bytes.Equal(got[3*ss:], old[3*ss:]) {
+		t.Fatal("unwritten suffix was modified")
+	}
+}
+
+func TestCrashImmediate(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	d.Crash()
+	if err := d.WriteAt(make([]byte, d.SectorSize()), 0); err != ErrCrashed {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	d.ClearCrash()
+	if err := d.WriteAt(make([]byte, d.SectorSize()), 0); err != nil {
+		t.Fatalf("post-reboot write failed: %v", err)
+	}
+}
+
+func TestCrashAfterZeroSectorsTearsImmediately(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	d.InjectCrashAfterSectors(0)
+	err := d.WriteAt(bytes.Repeat([]byte{1}, d.SectorSize()), 0)
+	if err != ErrCrashed {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	d.ClearCrash()
+	got := make([]byte, d.SectorSize())
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("no sectors should have been written")
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(testConfig(4 << 20))
+	ss := int64(d.SectorSize())
+	buf := make([]byte, 8*ss)
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Fatalf("ops: %+v", s)
+	}
+	if s.SectorsWritten != 8 || s.SectorsRead != 8 {
+		t.Fatalf("sectors: %+v", s)
+	}
+	if s.BytesWritten(int(ss)) != 8*ss {
+		t.Fatalf("BytesWritten=%d", s.BytesWritten(int(ss)))
+	}
+	if s.BusyTime() <= 0 {
+		t.Fatal("busy time not accounted")
+	}
+	d.ResetStats()
+	if d.Stats().Writes != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	pattern := bytes.Repeat([]byte{0x42}, 2*d.SectorSize())
+	if err := d.WriteAt(pattern, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if err := d.WriteAt(bytes.Repeat([]byte{0x24}, 2*d.SectorSize()), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*d.SectorSize())
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern) {
+		t.Fatal("restore did not bring back snapshot contents")
+	}
+	if err := d.Restore(make([]byte, 1)); err == nil {
+		t.Fatal("wrong-size restore accepted")
+	}
+}
+
+// Property: any sequence of aligned writes followed by reads returns exactly
+// what was written (the store is a faithful byte array).
+func TestQuickReadbackMatchesWrites(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	ss := d.SectorSize()
+	nSectors := int(d.Capacity()) / ss
+	shadow := make([]byte, d.Capacity())
+
+	f := func(sector uint16, val byte, nsec uint8) bool {
+		sec := int(sector) % nSectors
+		n := int(nsec)%4 + 1
+		if sec+n > nSectors {
+			sec = nSectors - n
+		}
+		data := bytes.Repeat([]byte{val}, n*ss)
+		off := int64(sec * ss)
+		if err := d.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(shadow[off:], data)
+		got := make([]byte, n*ss)
+		if err := d.ReadAt(got, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, shadow[off:off+int64(n*ss)])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the virtual clock is monotonically non-decreasing across any
+// mix of operations.
+func TestQuickClockMonotonic(t *testing.T) {
+	d := New(testConfig(1 << 20))
+	ss := d.SectorSize()
+	nSectors := int(d.Capacity()) / ss
+	last := d.Now()
+	f := func(sector uint16, write bool) bool {
+		sec := int(sector) % nSectors
+		buf := make([]byte, ss)
+		var err error
+		if write {
+			err = d.WriteAt(buf, int64(sec*ss))
+		} else {
+			err = d.ReadAt(buf, int64(sec*ss))
+		}
+		if err != nil {
+			return false
+		}
+		now := d.Now()
+		ok := now >= last
+		last = now
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	cfg := testConfig(64 << 20)
+
+	seq := New(cfg)
+	buf := make([]byte, 4096)
+	for i := 0; i < 128; i++ {
+		if err := seq.WriteAt(buf, int64(i)*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqTime := seq.Now()
+
+	rnd := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	slots := int(rnd.Capacity() / 4096)
+	for i := 0; i < 128; i++ {
+		off := int64(rng.Intn(slots)) * 4096
+		if err := rnd.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rndTime := rnd.Now()
+
+	if rndTime <= seqTime {
+		t.Fatalf("random I/O (%v) should be slower than sequential (%v)", rndTime, seqTime)
+	}
+}
+
+func TestSaveLoadImage(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/disk.img"
+	d := New(testConfig(1 << 20))
+	pattern := bytes.Repeat([]byte{0x5A}, d.SectorSize())
+	if err := d.WriteAt(pattern, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveImage(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(testConfig(1 << 20))
+	if err := d2.LoadImage(path); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, d2.SectorSize())
+	if err := d2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern) {
+		t.Fatal("image round trip lost data")
+	}
+}

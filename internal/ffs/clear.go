@@ -1,0 +1,39 @@
+package ffs
+
+// clearZoneSlot nils the block mapping for file block idx.
+func (fs *FS) clearZoneSlot(n uint32, ino *inode, idx int) error {
+	p := fs.ptrsPerBlock()
+	if idx < nDirect {
+		ino.Zones[idx] = 0
+		return fs.putInode(n, ino)
+	}
+	idx -= nDirect
+	var ind uint32
+	var slot int
+	if idx < p {
+		ind = ino.Zones[znIndirect]
+		slot = idx
+	} else {
+		idx -= p
+		dbl := ino.Zones[znDouble]
+		if dbl == 0 {
+			return nil
+		}
+		e, err := fs.cacheGet(dbl)
+		if err != nil {
+			return err
+		}
+		ind = le32(e.data[4*(idx/p):])
+		slot = idx % p
+	}
+	if ind == 0 {
+		return nil
+	}
+	e, err := fs.cacheGet(ind)
+	if err != nil {
+		return err
+	}
+	put32(e.data[4*slot:], 0)
+	e.dirty = true
+	return nil
+}

@@ -1,0 +1,135 @@
+package ffs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ffs"
+	"repro/internal/vfs"
+)
+
+// TestInodeSpillAcrossGroups: when a directory's home group runs out of
+// i-nodes, allocation probes other groups instead of failing.
+func TestInodeSpillAcrossGroups(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{
+		BlocksPerGroup: 128, InodesPerGroup: 16, CacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Far more files than one group's 16 i-nodes.
+	const n = 100
+	for i := 0; i < n; i++ {
+		f, err := fs.Create(fmt.Sprintf("/spill-%03d", i))
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		if _, err := f.WriteAt([]byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	infos, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != n {
+		t.Fatalf("%d entries", len(infos))
+	}
+	for i := 0; i < n; i += 13 {
+		g, err := fs.Open(fmt.Sprintf("/spill-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := g.ReadAt(buf, 0); err != nil || buf[0] != byte(i) {
+			t.Fatalf("file %d: %v %v", i, buf, err)
+		}
+		g.Close()
+	}
+}
+
+// TestInodeExhaustionFFS: filling every group's i-nodes yields ErrNoSpace,
+// and deleting makes room again.
+func TestInodeExhaustionFFS(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(16 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{
+		BlocksPerGroup: 256, InodesPerGroup: 8, CacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var made []string
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("/x%03d", i)
+		f, err := fs.Create(name)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		f.Close()
+		made = append(made, name)
+	}
+	if lastErr == nil {
+		t.Fatal("never ran out of i-nodes")
+	}
+	if lastErr != vfs.ErrNoSpace {
+		t.Fatalf("got %v", lastErr)
+	}
+	if err := fs.Unlink(made[0]); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/after-free")
+	if err != nil {
+		t.Fatalf("create after free: %v", err)
+	}
+	f.Close()
+}
+
+// TestFFSSequentialAllocationIsContiguous: the allocate-near-previous
+// policy lays a sequentially written file out contiguously, which is what
+// makes FFS read-ahead effective.
+func TestFFSSequentialAllocationIsContiguous(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("/contig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte{3}, 1<<20)
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	// A contiguous layout plus read-ahead means far fewer disk read
+	// requests than blocks.
+	d.ResetStats()
+	buf := make([]byte, len(payload))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	blocks := len(payload) / 8192
+	reads := d.Stats().Reads
+	if reads >= int64(blocks)/2 {
+		t.Fatalf("%d read requests for %d blocks: read-ahead not amortizing", reads, blocks)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("content mismatch")
+	}
+}

@@ -1,0 +1,513 @@
+// Package ffs implements a simplified Fast-File-System-like file system
+// (McKusick et al. 1984), standing in for the SunOS file system the paper
+// compares against in Tables 4 and 5. It has the three properties that
+// drive SunOS's numbers there:
+//
+//   - cylinder groups: the disk is split into groups, each with its own
+//     i-node and data-block bitmaps; i-nodes are placed in their parent
+//     directory's group and data blocks in their i-node's group, spilling
+//     to other groups by quadratic probing;
+//   - synchronous metadata: create and delete write the affected i-node
+//     and directory blocks through to disk immediately (which is why SunOS
+//     creates/deletes are slow in Table 4);
+//   - read-ahead on sequential reads of 8-KB blocks.
+//
+// Like the paper's SunOS setup, it uses 8-KB blocks.
+package ffs
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/vfs"
+)
+
+const (
+	ffsMagic   = 0x46465330 // "FFS0"
+	inodeSize  = 64
+	nDirect    = 10
+	znIndirect = 10
+	znDouble   = 11
+	nZoneSlots = 12
+	rootIno    = 1
+	maxNameLen = 27
+	direntSize = 32
+
+	modeFree uint16 = 0
+	modeFile uint16 = 1
+	modeDir  uint16 = 2
+
+	readaheadBlocks = 7
+)
+
+// Config selects mkfs-time parameters.
+type Config struct {
+	// BlockSize defaults to 8 KB (the paper's SunOS block size).
+	BlockSize int
+	// BlocksPerGroup sets the cylinder-group size in blocks; zero derives
+	// roughly 2 MB groups.
+	BlocksPerGroup int
+	// InodesPerGroup defaults to BlocksPerGroup/4.
+	InodesPerGroup int
+	// CacheBytes sizes the buffer cache (data blocks only); zero picks
+	// 6,144 KB to match the measurement setup.
+	CacheBytes int
+}
+
+func (c *Config) fill() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 8192
+	}
+	if c.BlocksPerGroup == 0 {
+		c.BlocksPerGroup = (2 << 20) / c.BlockSize
+	}
+	if c.InodesPerGroup == 0 {
+		c.InodesPerGroup = c.BlocksPerGroup / 4
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 6144 * 1024
+	}
+}
+
+// group is the in-memory view of one cylinder group.
+type group struct {
+	headerBlk  uint32 // block holding both bitmaps
+	inodeBase  uint32 // first i-node table block
+	dataBase   uint32 // first data block
+	dataBlocks int
+
+	inodeBitmap []byte
+	blockBitmap []byte
+	freeInodes  int
+	freeBlocks  int
+	dirty       bool
+}
+
+// FS is the FFS-like file system. It implements vfs.FileSystem.
+type FS struct {
+	d   *disk.Disk
+	cfg Config
+
+	nGroups        int
+	blocksPerGroup int
+	inodesPerGroup int
+	inodeBlocksPG  int
+	groups         []*group
+
+	cache   map[uint32]*list.Element
+	lru     *list.List
+	cacheSz int
+
+	dcache map[uint32]map[string]uint32
+
+	stats  Stats
+	closed bool
+}
+
+// Stats counts file-system events.
+type Stats struct {
+	Creates, Unlinks   int64
+	SyncMetadataWrites int64
+	ReadaheadBlocks    int64
+}
+
+type centry struct {
+	blk   uint32
+	data  []byte
+	dirty bool
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// Mkfs formats the disk and returns the mounted file system.
+func Mkfs(d *disk.Disk, cfg Config) (*FS, error) {
+	cfg.fill()
+	bs := cfg.BlockSize
+	if bs%d.SectorSize() != 0 {
+		return nil, fmt.Errorf("ffs: block size %d not sector aligned", bs)
+	}
+	totalBlocks := int(d.Capacity() / int64(bs))
+	// Block 0: superblock. Groups follow back to back.
+	inodeBlocksPG := (cfg.InodesPerGroup*inodeSize + bs - 1) / bs
+	overheadPG := 1 + inodeBlocksPG // header + inode table
+	if cfg.BlocksPerGroup <= overheadPG+4 {
+		return nil, fmt.Errorf("ffs: group size %d too small", cfg.BlocksPerGroup)
+	}
+	nGroups := (totalBlocks - 1) / cfg.BlocksPerGroup
+	if nGroups < 1 {
+		return nil, fmt.Errorf("ffs: disk too small for one cylinder group")
+	}
+	fs := &FS{
+		d:              d,
+		cfg:            cfg,
+		nGroups:        nGroups,
+		blocksPerGroup: cfg.BlocksPerGroup,
+		inodesPerGroup: cfg.InodesPerGroup,
+		inodeBlocksPG:  inodeBlocksPG,
+		cache:          make(map[uint32]*list.Element),
+		lru:            list.New(),
+		dcache:         make(map[uint32]map[string]uint32),
+	}
+	for g := 0; g < nGroups; g++ {
+		base := uint32(1 + g*cfg.BlocksPerGroup)
+		dataBlocks := cfg.BlocksPerGroup - overheadPG
+		gr := &group{
+			headerBlk:   base,
+			inodeBase:   base + 1,
+			dataBase:    base + 1 + uint32(inodeBlocksPG),
+			dataBlocks:  dataBlocks,
+			inodeBitmap: make([]byte, (cfg.InodesPerGroup+7)/8),
+			blockBitmap: make([]byte, (dataBlocks+7)/8),
+			freeInodes:  cfg.InodesPerGroup,
+			freeBlocks:  dataBlocks,
+			dirty:       true,
+		}
+		fs.groups = append(fs.groups, gr)
+	}
+	// Superblock.
+	sb := make([]byte, bs)
+	put32(sb[0:], ffsMagic)
+	put32(sb[4:], uint32(bs))
+	put32(sb[8:], uint32(nGroups))
+	put32(sb[12:], uint32(cfg.BlocksPerGroup))
+	put32(sb[16:], uint32(cfg.InodesPerGroup))
+	if err := d.WriteAt(sb, 0); err != nil {
+		return nil, err
+	}
+	// Root directory in group 0.
+	n, err := fs.allocInoIn(0)
+	if err != nil {
+		return nil, err
+	}
+	if n != rootIno {
+		return nil, fmt.Errorf("ffs: root got inode %d", n)
+	}
+	root := inode{Mode: modeDir, Links: 1, MTime: fs.now()}
+	if err := fs.putInodeSync(rootIno, &root); err != nil {
+		return nil, err
+	}
+	if err := fs.flushGroups(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Open mounts a previously formatted disk.
+func Open(d *disk.Disk, cacheBytes int) (*FS, error) {
+	buf := make([]byte, d.SectorSize())
+	if err := d.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	if le32(buf[0:]) != ffsMagic {
+		return nil, fmt.Errorf("ffs: bad superblock magic")
+	}
+	cfg := Config{
+		BlockSize:      int(le32(buf[4:])),
+		BlocksPerGroup: int(le32(buf[12:])),
+		InodesPerGroup: int(le32(buf[16:])),
+		CacheBytes:     cacheBytes,
+	}
+	cfg.fill()
+	nGroups := int(le32(buf[8:]))
+	inodeBlocksPG := (cfg.InodesPerGroup*inodeSize + cfg.BlockSize - 1) / cfg.BlockSize
+	fs := &FS{
+		d:              d,
+		cfg:            cfg,
+		nGroups:        nGroups,
+		blocksPerGroup: cfg.BlocksPerGroup,
+		inodesPerGroup: cfg.InodesPerGroup,
+		inodeBlocksPG:  inodeBlocksPG,
+		cache:          make(map[uint32]*list.Element),
+		lru:            list.New(),
+		dcache:         make(map[uint32]map[string]uint32),
+	}
+	bs := cfg.BlockSize
+	hdr := make([]byte, bs)
+	for g := 0; g < nGroups; g++ {
+		base := uint32(1 + g*cfg.BlocksPerGroup)
+		dataBlocks := cfg.BlocksPerGroup - 1 - inodeBlocksPG
+		gr := &group{
+			headerBlk:   base,
+			inodeBase:   base + 1,
+			dataBase:    base + 1 + uint32(inodeBlocksPG),
+			dataBlocks:  dataBlocks,
+			inodeBitmap: make([]byte, (cfg.InodesPerGroup+7)/8),
+			blockBitmap: make([]byte, (dataBlocks+7)/8),
+		}
+		if err := d.ReadAt(hdr, int64(base)*int64(bs)); err != nil {
+			return nil, err
+		}
+		copy(gr.inodeBitmap, hdr)
+		copy(gr.blockBitmap, hdr[len(gr.inodeBitmap):])
+		for i := 0; i < cfg.InodesPerGroup; i++ {
+			if gr.inodeBitmap[i/8]&(1<<(i%8)) == 0 {
+				gr.freeInodes++
+			}
+		}
+		for i := 0; i < dataBlocks; i++ {
+			if gr.blockBitmap[i/8]&(1<<(i%8)) == 0 {
+				gr.freeBlocks++
+			}
+		}
+		fs.groups = append(fs.groups, gr)
+	}
+	return fs, nil
+}
+
+func (fs *FS) now() uint32 { return uint32(fs.d.Now().Seconds()) }
+
+// flushGroups writes dirty group headers synchronously (metadata).
+func (fs *FS) flushGroups() error {
+	bs := fs.cfg.BlockSize
+	buf := make([]byte, bs)
+	for _, gr := range fs.groups {
+		if !gr.dirty {
+			continue
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf, gr.inodeBitmap)
+		copy(buf[len(gr.inodeBitmap):], gr.blockBitmap)
+		if err := fs.d.WriteAt(buf, int64(gr.headerBlk)*int64(bs)); err != nil {
+			return err
+		}
+		gr.dirty = false
+		fs.stats.SyncMetadataWrites++
+	}
+	return nil
+}
+
+// ---- i-node allocation ----
+
+// allocInoIn allocates an i-node in group g.
+func (fs *FS) allocInoIn(g int) (uint32, error) {
+	gr := fs.groups[g]
+	if gr.freeInodes == 0 {
+		return 0, vfs.ErrNoSpace
+	}
+	for i := 0; i < fs.inodesPerGroup; i++ {
+		if gr.inodeBitmap[i/8]&(1<<(i%8)) == 0 {
+			gr.inodeBitmap[i/8] |= 1 << (i % 8)
+			gr.freeInodes--
+			gr.dirty = true
+			return uint32(g*fs.inodesPerGroup+i) + 1, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// allocIno allocates an i-node near directory group dg, probing outward.
+func (fs *FS) allocIno(dg int) (uint32, error) {
+	for probe := 0; probe < fs.nGroups; probe++ {
+		g := (dg + probe*probe) % fs.nGroups
+		if n, err := fs.allocInoIn(g); err == nil {
+			return n, nil
+		}
+	}
+	// Exhaustive fallback.
+	for g := 0; g < fs.nGroups; g++ {
+		if n, err := fs.allocInoIn(g); err == nil {
+			return n, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (fs *FS) freeIno(n uint32) {
+	idx := int(n - 1)
+	g := idx / fs.inodesPerGroup
+	i := idx % fs.inodesPerGroup
+	gr := fs.groups[g]
+	gr.inodeBitmap[i/8] &^= 1 << (i % 8)
+	gr.freeInodes++
+	gr.dirty = true
+}
+
+// inodeGroup returns the group an i-node lives in.
+func (fs *FS) inodeGroup(n uint32) int { return int(n-1) / fs.inodesPerGroup }
+
+// blockGroup returns the group a data block belongs to, or -1.
+func (fs *FS) blockGroup(blk uint32) int {
+	if blk == 0 {
+		return -1
+	}
+	return int(blk-1) / fs.blocksPerGroup
+}
+
+// ---- data block allocation ----
+
+// allocBlockIn allocates a data block in group g, preferring the slot just
+// after prev when prev is in the same group (contiguous layout keeps
+// sequential reads fast and makes read-ahead effective).
+func (fs *FS) allocBlockIn(g int, prev uint32) (uint32, error) {
+	gr := fs.groups[g]
+	if gr.freeBlocks == 0 {
+		return 0, vfs.ErrNoSpace
+	}
+	start := 0
+	if prev != 0 && fs.blockGroup(prev) == g && prev >= gr.dataBase {
+		start = int(prev-gr.dataBase) + 1
+	}
+	for i := 0; i < gr.dataBlocks; i++ {
+		slot := (start + i) % gr.dataBlocks
+		if gr.blockBitmap[slot/8]&(1<<(slot%8)) == 0 {
+			gr.blockBitmap[slot/8] |= 1 << (slot % 8)
+			gr.freeBlocks--
+			gr.dirty = true
+			return gr.dataBase + uint32(slot), nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// allocBlock allocates a data block near the file's i-node (its group),
+// preferring contiguity with prev, spilling by quadratic probing.
+func (fs *FS) allocBlock(ino uint32, prev uint32) (uint32, error) {
+	home := fs.inodeGroup(ino)
+	if prev != 0 {
+		if g := fs.blockGroup(prev); g >= 0 {
+			home = g
+		}
+	}
+	for probe := 0; probe < fs.nGroups; probe++ {
+		g := (home + probe*probe) % fs.nGroups
+		if blk, err := fs.allocBlockIn(g, prev); err == nil {
+			return blk, nil
+		}
+	}
+	for g := 0; g < fs.nGroups; g++ {
+		if blk, err := fs.allocBlockIn(g, prev); err == nil {
+			return blk, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (fs *FS) freeBlock(blk uint32) error {
+	g := fs.blockGroup(blk)
+	if g < 0 || g >= fs.nGroups {
+		return vfs.ErrInvalid
+	}
+	gr := fs.groups[g]
+	if blk < gr.dataBase || blk >= gr.dataBase+uint32(gr.dataBlocks) {
+		return vfs.ErrInvalid
+	}
+	slot := int(blk - gr.dataBase)
+	gr.blockBitmap[slot/8] &^= 1 << (slot % 8)
+	gr.freeBlocks++
+	gr.dirty = true
+	fs.dropCache(blk)
+	return nil
+}
+
+// ---- buffer cache (data; metadata goes through it too but is also
+// written synchronously where FFS semantics demand it) ----
+
+func (fs *FS) cacheGet(blk uint32) (*centry, error) {
+	if el, ok := fs.cache[blk]; ok {
+		fs.lru.MoveToFront(el)
+		return el.Value.(*centry), nil
+	}
+	data := make([]byte, fs.cfg.BlockSize)
+	if err := fs.d.ReadAt(data, int64(blk)*int64(fs.cfg.BlockSize)); err != nil {
+		return nil, err
+	}
+	e := &centry{blk: blk, data: data}
+	fs.cache[blk] = fs.lru.PushFront(e)
+	fs.cacheSz += len(data)
+	if err := fs.cacheEvict(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (fs *FS) cacheInstall(blk uint32, data []byte, dirty bool) error {
+	if el, ok := fs.cache[blk]; ok {
+		e := el.Value.(*centry)
+		e.data = data
+		e.dirty = e.dirty || dirty
+		fs.lru.MoveToFront(el)
+		return nil
+	}
+	e := &centry{blk: blk, data: data, dirty: dirty}
+	fs.cache[blk] = fs.lru.PushFront(e)
+	fs.cacheSz += len(data)
+	return fs.cacheEvict()
+}
+
+func (fs *FS) cacheEvict() error {
+	for fs.cacheSz > fs.cfg.CacheBytes && fs.lru.Len() > 1 {
+		el := fs.lru.Back()
+		e := el.Value.(*centry)
+		if e.dirty {
+			if err := fs.d.WriteAt(e.data, int64(e.blk)*int64(fs.cfg.BlockSize)); err != nil {
+				return err
+			}
+			e.dirty = false
+		}
+		fs.cacheSz -= len(e.data)
+		fs.lru.Remove(el)
+		delete(fs.cache, e.blk)
+	}
+	return nil
+}
+
+func (fs *FS) dropCache(blk uint32) {
+	if el, ok := fs.cache[blk]; ok {
+		fs.cacheSz -= len(el.Value.(*centry).data)
+		fs.lru.Remove(el)
+		delete(fs.cache, blk)
+	}
+}
+
+// writeThrough writes a cached block to disk immediately (sync metadata).
+func (fs *FS) writeThrough(blk uint32) error {
+	el, ok := fs.cache[blk]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*centry)
+	if err := fs.d.WriteAt(e.data, int64(blk)*int64(fs.cfg.BlockSize)); err != nil {
+		return err
+	}
+	e.dirty = false
+	fs.stats.SyncMetadataWrites++
+	return nil
+}
+
+func (fs *FS) syncAll() error {
+	var dirty []*centry
+	for _, el := range fs.cache {
+		e := el.Value.(*centry)
+		if e.dirty {
+			dirty = append(dirty, e)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].blk < dirty[j].blk })
+	for _, e := range dirty {
+		if err := fs.d.WriteAt(e.data, int64(e.blk)*int64(fs.cfg.BlockSize)); err != nil {
+			return err
+		}
+		e.dirty = false
+	}
+	return fs.flushGroups()
+}
+
+// little-endian helpers.
+func le16(p []byte) uint16 { return uint16(p[0]) | uint16(p[1])<<8 }
+
+func put16(p []byte, v uint16) { p[0] = byte(v); p[1] = byte(v >> 8) }
+
+func le32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+func put32(p []byte, v uint32) {
+	p[0] = byte(v)
+	p[1] = byte(v >> 8)
+	p[2] = byte(v >> 16)
+	p[3] = byte(v >> 24)
+}

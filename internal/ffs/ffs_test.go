@@ -1,0 +1,152 @@
+package ffs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ffs"
+	"repro/internal/fstest"
+	"repro/internal/vfs"
+)
+
+func newFFS(t *testing.T) vfs.FileSystem {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestConformance(t *testing.T) {
+	fstest.Conformance(t, newFFS)
+}
+
+func TestSynchronousMetadata(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	d.ResetStats()
+	before := d.Stats().Writes
+	f, err := fs.Create("/sync-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	after := d.Stats().Writes
+	// FFS create must hit the disk synchronously (i-node + directory at
+	// minimum); an async file system would show zero writes here.
+	if after-before < 2 {
+		t.Fatalf("create issued only %d synchronous writes", after-before)
+	}
+	if fs.Stats().SyncMetadataWrites == 0 {
+		t.Fatal("sync metadata counter not incremented")
+	}
+}
+
+func TestCylinderGroupSpreading(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{BlocksPerGroup: 128, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// Fill beyond one group's capacity (128 blocks * 8 KB = 1 MB/group);
+	// allocation must spill to other groups rather than fail.
+	payload := bytes.Repeat([]byte{1}, 1<<20)
+	for i := 0; i < 8; i++ {
+		f, err := fs.Create(fmt.Sprintf("/spill%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		f.Close()
+	}
+	for i := 0; i < 8; i++ {
+		f, err := fs.Open(fmt.Sprintf("/spill%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		if n, err := f.ReadAt(buf, 0); err != nil || n != 1<<20 {
+			t.Fatalf("file %d read: n=%d err=%v", i, n, err)
+		}
+		if !bytes.Equal(buf, payload) {
+			t.Fatalf("file %d corrupted", i)
+		}
+		f.Close()
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("across mounts"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := ffs.Open(d, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	g, err := fs2.Open("/kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.Size())
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "across mounts" {
+		t.Fatalf("got %q", buf)
+	}
+	g.Close()
+}
+
+func TestReadaheadCountsBlocks(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	payload := bytes.Repeat([]byte{2}, 512*1024)
+	f, err := fs.Create("/ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(payload))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().ReadaheadBlocks == 0 {
+		t.Fatal("sequential read triggered no read-ahead")
+	}
+}

@@ -1,0 +1,254 @@
+package ffs
+
+import (
+	"repro/internal/vfs"
+)
+
+// file implements vfs.File.
+type file struct {
+	fs     *FS
+	n      uint32
+	closed bool
+}
+
+func (f *file) check() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return f.fs.check()
+}
+
+// Size implements vfs.File.
+func (f *file) Size() int64 {
+	ino, err := f.fs.getInode(f.n)
+	if err != nil {
+		return 0
+	}
+	return int64(ino.Size)
+}
+
+// ReadAt implements vfs.File, with FFS-style read-ahead: a miss pulls in
+// the following blocks of the file, merged into contiguous disk requests.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	fs := f.fs
+	ino, err := fs.getInode(f.n)
+	if err != nil {
+		return 0, err
+	}
+	size := int64(ino.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	bs := int64(fs.cfg.BlockSize)
+	read := 0
+	for read < len(p) {
+		idx := int((off + int64(read)) / bs)
+		inBlk := int((off + int64(read)) % bs)
+		n := fs.cfg.BlockSize - inBlk
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		h, err := fs.bmap(f.n, &ino, idx, false)
+		if err != nil {
+			return read, err
+		}
+		if h == 0 {
+			for i := 0; i < n; i++ {
+				p[read+i] = 0
+			}
+			read += n
+			continue
+		}
+		if _, cached := fs.cache[h]; !cached {
+			fs.readahead(f.n, &ino, idx)
+		}
+		e, err := fs.cacheGet(h)
+		if err != nil {
+			return read, err
+		}
+		copy(p[read:read+n], e.data[inBlk:])
+		read += n
+	}
+	return read, nil
+}
+
+// readahead reads the run of blocks starting at file index idx in as few
+// contiguous disk requests as possible and installs them in the cache.
+func (fs *FS) readahead(n uint32, ino *inode, idx int) {
+	var handles []uint32
+	for i := idx; i <= idx+readaheadBlocks; i++ {
+		h, err := fs.bmap(n, ino, i, false)
+		if err != nil || h == 0 {
+			break
+		}
+		if i > idx {
+			if _, cached := fs.cache[h]; cached {
+				break
+			}
+		}
+		handles = append(handles, h)
+	}
+	bs := fs.cfg.BlockSize
+	for i := 0; i < len(handles); {
+		j := i + 1
+		for j < len(handles) && handles[j] == handles[j-1]+1 {
+			j++
+		}
+		run := handles[i:j]
+		buf := make([]byte, len(run)*bs)
+		if err := fs.d.ReadAt(buf, int64(run[0])*int64(bs)); err != nil {
+			return
+		}
+		for k, h := range run {
+			blk := make([]byte, bs)
+			copy(blk, buf[k*bs:])
+			if err := fs.cacheInstall(h, blk, false); err != nil {
+				return
+			}
+			fs.stats.ReadaheadBlocks++
+		}
+		i = j
+	}
+}
+
+// WriteAt implements vfs.File. Data writes are asynchronous through the
+// buffer cache; only metadata is synchronous in FFS.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	fs := f.fs
+	ino, err := fs.getInode(f.n)
+	if err != nil {
+		return 0, err
+	}
+	bs := int64(fs.cfg.BlockSize)
+	if (off+int64(len(p))+bs-1)/bs > int64(fs.maxFileBlocks()) {
+		return 0, vfs.ErrInvalid
+	}
+	written := 0
+	for written < len(p) {
+		idx := int((off + int64(written)) / bs)
+		inBlk := int((off + int64(written)) % bs)
+		nn := fs.cfg.BlockSize - inBlk
+		if nn > len(p)-written {
+			nn = len(p) - written
+		}
+		h, err := fs.bmap(f.n, &ino, idx, true)
+		if err != nil {
+			return written, err
+		}
+		if inBlk == 0 && nn == fs.cfg.BlockSize {
+			blk := make([]byte, fs.cfg.BlockSize)
+			copy(blk, p[written:written+nn])
+			if err := fs.cacheInstall(h, blk, true); err != nil {
+				return written, err
+			}
+			if err := fs.cacheEvict(); err != nil {
+				return written, err
+			}
+		} else {
+			e, err := fs.cacheGet(h)
+			if err != nil {
+				return written, err
+			}
+			copy(e.data[inBlk:], p[written:written+nn])
+			e.dirty = true
+		}
+		written += nn
+	}
+	end := off + int64(written)
+	if end > int64(ino.Size) {
+		ino.Size = uint32(end)
+	}
+	ino.MTime = fs.now()
+	if err := fs.putInode(f.n, &ino); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Truncate implements vfs.File.
+func (f *file) Truncate(size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	fs := f.fs
+	ino, err := fs.getInode(f.n)
+	if err != nil {
+		return err
+	}
+	if size < 0 || size > int64(fs.maxFileBlocks())*int64(fs.cfg.BlockSize) {
+		return vfs.ErrInvalid
+	}
+	switch {
+	case size == 0:
+		if err := fs.freeAllBlocks(&ino); err != nil {
+			return err
+		}
+	case size < int64(ino.Size):
+		bs := int64(fs.cfg.BlockSize)
+		firstDead := int((size + bs - 1) / bs)
+		lastLive := int((int64(ino.Size) + bs - 1) / bs)
+		for i := firstDead; i < lastLive; i++ {
+			h, err := fs.bmap(f.n, &ino, i, false)
+			if err != nil {
+				return err
+			}
+			if h == 0 {
+				continue
+			}
+			if err := fs.freeBlock(h); err != nil {
+				return err
+			}
+			if err := fs.clearZoneSlot(f.n, &ino, i); err != nil {
+				return err
+			}
+		}
+		// Zero the stale tail of the boundary block.
+		if tail := int(size % bs); tail != 0 {
+			if h, err := fs.bmap(f.n, &ino, int(size/bs), false); err == nil && h != 0 {
+				e, err := fs.cacheGet(h)
+				if err != nil {
+					return err
+				}
+				for i := tail; i < len(e.data); i++ {
+					e.data[i] = 0
+				}
+				e.dirty = true
+			}
+		}
+	}
+	ino.Size = uint32(size)
+	ino.MTime = fs.now()
+	if err := fs.putInodeSync(f.n, &ino); err != nil {
+		return err
+	}
+	return fs.flushGroups()
+}
+
+// Sync implements vfs.File.
+func (f *file) Sync() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.fs.syncAll()
+}
+
+// Close implements vfs.File.
+func (f *file) Close() error {
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,302 @@
+package ffs
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// inode is the 64-byte on-disk i-node: 10 direct zones, one indirect, one
+// double-indirect (8-KB blocks with 4-byte pointers address files up to
+// ~32 GB, far beyond the benchmarks' 300-MB file).
+type inode struct {
+	Mode  uint16
+	Links uint16
+	Size  uint32
+	MTime uint32
+	Zones [nZoneSlots]uint32
+}
+
+func (ino *inode) encode(p []byte) {
+	for i := range p[:inodeSize] {
+		p[i] = 0
+	}
+	put16(p[0:], ino.Mode)
+	put16(p[2:], ino.Links)
+	put32(p[4:], ino.Size)
+	put32(p[8:], ino.MTime)
+	for i, z := range ino.Zones {
+		put32(p[12+4*i:], z)
+	}
+}
+
+func (ino *inode) decode(p []byte) {
+	ino.Mode = le16(p[0:])
+	ino.Links = le16(p[2:])
+	ino.Size = le32(p[4:])
+	ino.MTime = le32(p[8:])
+	for i := range ino.Zones {
+		ino.Zones[i] = le32(p[12+4*i:])
+	}
+}
+
+// inodeLoc returns the block and offset holding i-node n.
+func (fs *FS) inodeLoc(n uint32) (uint32, int, error) {
+	idx := int(n - 1)
+	g := idx / fs.inodesPerGroup
+	if n == 0 || g >= fs.nGroups {
+		return 0, 0, fmt.Errorf("%w: inode %d", vfs.ErrInvalid, n)
+	}
+	i := idx % fs.inodesPerGroup
+	perBlock := fs.cfg.BlockSize / inodeSize
+	return fs.groups[g].inodeBase + uint32(i/perBlock), (i % perBlock) * inodeSize, nil
+}
+
+func (fs *FS) getInode(n uint32) (inode, error) {
+	var ino inode
+	blk, off, err := fs.inodeLoc(n)
+	if err != nil {
+		return ino, err
+	}
+	e, err := fs.cacheGet(blk)
+	if err != nil {
+		return ino, err
+	}
+	ino.decode(e.data[off : off+inodeSize])
+	return ino, nil
+}
+
+// putInode writes the i-node into the cache (async path).
+func (fs *FS) putInode(n uint32, ino *inode) error {
+	blk, off, err := fs.inodeLoc(n)
+	if err != nil {
+		return err
+	}
+	e, err := fs.cacheGet(blk)
+	if err != nil {
+		return err
+	}
+	ino.encode(e.data[off : off+inodeSize])
+	e.dirty = true
+	return nil
+}
+
+// putInodeSync writes the i-node and pushes its block to disk immediately —
+// FFS's synchronous metadata discipline.
+func (fs *FS) putInodeSync(n uint32, ino *inode) error {
+	if err := fs.putInode(n, ino); err != nil {
+		return err
+	}
+	blk, _, _ := fs.inodeLoc(n)
+	return fs.writeThrough(blk)
+}
+
+func (fs *FS) ptrsPerBlock() int { return fs.cfg.BlockSize / 4 }
+
+func (fs *FS) maxFileBlocks() int {
+	p := fs.ptrsPerBlock()
+	return nDirect + p + p*p
+}
+
+// bmap maps file block idx to a disk block, allocating when asked.
+func (fs *FS) bmap(n uint32, ino *inode, idx int, alloc bool) (uint32, error) {
+	if idx < 0 || idx >= fs.maxFileBlocks() {
+		return 0, fmt.Errorf("%w: block index %d", vfs.ErrInvalid, idx)
+	}
+	p := fs.ptrsPerBlock()
+
+	// prevBlock gives contiguity hints: the previous file block if mapped.
+	prevBlock := func(i int) uint32 {
+		if i == 0 {
+			return 0
+		}
+		h, err := fs.bmap(n, ino, i-1, false)
+		if err != nil {
+			return 0
+		}
+		return h
+	}
+
+	if idx < nDirect {
+		h := ino.Zones[idx]
+		if h == 0 && alloc {
+			nh, err := fs.allocBlock(n, prevBlock(idx))
+			if err != nil {
+				return 0, err
+			}
+			ino.Zones[idx] = nh
+			if err := fs.cacheInstall(nh, make([]byte, fs.cfg.BlockSize), true); err != nil {
+				return 0, err
+			}
+			if err := fs.putInode(n, ino); err != nil {
+				return 0, err
+			}
+			return nh, nil
+		}
+		return h, nil
+	}
+
+	idx -= nDirect
+	if idx < p {
+		ind := ino.Zones[znIndirect]
+		if ind == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			nh, err := fs.allocBlock(n, 0)
+			if err != nil {
+				return 0, err
+			}
+			ind = nh
+			ino.Zones[znIndirect] = ind
+			if err := fs.cacheInstall(ind, make([]byte, fs.cfg.BlockSize), true); err != nil {
+				return 0, err
+			}
+			if err := fs.putInode(n, ino); err != nil {
+				return 0, err
+			}
+		}
+		return fs.indirectSlot(n, ino, ind, idx, idx+nDirect, alloc)
+	}
+
+	idx -= p
+	dbl := ino.Zones[znDouble]
+	if dbl == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		nh, err := fs.allocBlock(n, 0)
+		if err != nil {
+			return 0, err
+		}
+		dbl = nh
+		ino.Zones[znDouble] = dbl
+		if err := fs.cacheInstall(dbl, make([]byte, fs.cfg.BlockSize), true); err != nil {
+			return 0, err
+		}
+		if err := fs.putInode(n, ino); err != nil {
+			return 0, err
+		}
+	}
+	e, err := fs.cacheGet(dbl)
+	if err != nil {
+		return 0, err
+	}
+	slot := idx / p
+	ind := le32(e.data[4*slot:])
+	if ind == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		nh, err := fs.allocBlock(n, 0)
+		if err != nil {
+			return 0, err
+		}
+		ind = nh
+		if err := fs.cacheInstall(ind, make([]byte, fs.cfg.BlockSize), true); err != nil {
+			return 0, err
+		}
+		if e, err = fs.cacheGet(dbl); err != nil {
+			return 0, err
+		}
+		put32(e.data[4*slot:], ind)
+		e.dirty = true
+		if err := fs.putInode(n, ino); err != nil {
+			return 0, err
+		}
+	}
+	return fs.indirectSlot(n, ino, ind, idx%p, nDirect+p+idx, alloc)
+}
+
+func (fs *FS) indirectSlot(n uint32, ino *inode, ind uint32, slot, fileIdx int, alloc bool) (uint32, error) {
+	e, err := fs.cacheGet(ind)
+	if err != nil {
+		return 0, err
+	}
+	h := le32(e.data[4*slot:])
+	if h == 0 && alloc {
+		var prev uint32
+		if fileIdx > 0 {
+			prev, _ = fs.bmap(n, ino, fileIdx-1, false)
+		}
+		nh, err := fs.allocBlock(n, prev)
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.cacheInstall(nh, make([]byte, fs.cfg.BlockSize), true); err != nil {
+			return 0, err
+		}
+		if e, err = fs.cacheGet(ind); err != nil {
+			return 0, err
+		}
+		put32(e.data[4*slot:], nh)
+		e.dirty = true
+		return nh, nil
+	}
+	return h, nil
+}
+
+// freeAllBlocks releases every block of the file.
+func (fs *FS) freeAllBlocks(ino *inode) error {
+	p := fs.ptrsPerBlock()
+	free := func(blk uint32) error {
+		if blk == 0 {
+			return nil
+		}
+		return fs.freeBlock(blk)
+	}
+	for i := 0; i < nDirect; i++ {
+		if err := free(ino.Zones[i]); err != nil {
+			return err
+		}
+		ino.Zones[i] = 0
+	}
+	if ind := ino.Zones[znIndirect]; ind != 0 {
+		e, err := fs.cacheGet(ind)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < p; s++ {
+			if err := free(le32(e.data[4*s:])); err != nil {
+				return err
+			}
+		}
+		if err := free(ind); err != nil {
+			return err
+		}
+		ino.Zones[znIndirect] = 0
+	}
+	if dbl := ino.Zones[znDouble]; dbl != 0 {
+		e, err := fs.cacheGet(dbl)
+		if err != nil {
+			return err
+		}
+		slots := make([]uint32, p)
+		for s := 0; s < p; s++ {
+			slots[s] = le32(e.data[4*s:])
+		}
+		for _, ind := range slots {
+			if ind == 0 {
+				continue
+			}
+			ie, err := fs.cacheGet(ind)
+			if err != nil {
+				return err
+			}
+			for s := 0; s < p; s++ {
+				if err := free(le32(ie.data[4*s:])); err != nil {
+					return err
+				}
+			}
+			if err := free(ind); err != nil {
+				return err
+			}
+		}
+		if err := free(dbl); err != nil {
+			return err
+		}
+		ino.Zones[znDouble] = 0
+	}
+	ino.Size = 0
+	return nil
+}

@@ -1,0 +1,592 @@
+package ffs
+
+import (
+	"bytes"
+	"container/list"
+
+	"repro/internal/vfs"
+)
+
+// Directory entries and the vfs.FileSystem implementation. Directory
+// layout matches the MINIX one (32-byte entries); the difference is the
+// write discipline: directory and i-node updates made by create, delete,
+// mkdir, rmdir and rename are written through to the disk synchronously,
+// as SunOS FFS does — this is what makes Table 4's SunOS creates and
+// deletes slow.
+
+func (fs *FS) loadDcache(n uint32, dir *inode) (map[string]uint32, error) {
+	if m, ok := fs.dcache[n]; ok {
+		return m, nil
+	}
+	m := make(map[string]uint32)
+	bs := fs.cfg.BlockSize
+	nblocks := int((int64(dir.Size) + int64(bs) - 1) / int64(bs))
+	for b := 0; b < nblocks; b++ {
+		h, err := fs.bmap(n, dir, b, false)
+		if err != nil {
+			return nil, err
+		}
+		if h == 0 {
+			continue
+		}
+		e, err := fs.cacheGet(h)
+		if err != nil {
+			return nil, err
+		}
+		limit := bs
+		if rem := int(int64(dir.Size) - int64(b)*int64(bs)); rem < limit {
+			limit = rem
+		}
+		for off := 0; off+direntSize <= limit; off += direntSize {
+			ino := le32(e.data[off:])
+			if ino == 0 {
+				continue
+			}
+			name := string(bytes.TrimRight(e.data[off+4:off+direntSize], "\x00"))
+			m[name] = ino
+		}
+	}
+	fs.dcache[n] = m
+	return m, nil
+}
+
+func (fs *FS) dirLookup(n uint32, dir *inode, name string) (uint32, error) {
+	m, err := fs.loadDcache(n, dir)
+	if err != nil {
+		return 0, err
+	}
+	ino, ok := m[name]
+	if !ok {
+		return 0, vfs.ErrNotExist
+	}
+	return ino, nil
+}
+
+// dirAdd inserts an entry and writes the affected directory block through.
+func (fs *FS) dirAdd(n uint32, dir *inode, name string, target uint32) error {
+	if len(name) > maxNameLen {
+		return vfs.ErrNameTooLong
+	}
+	m, err := fs.loadDcache(n, dir)
+	if err != nil {
+		return err
+	}
+	bs := fs.cfg.BlockSize
+	nblocks := int((int64(dir.Size) + int64(bs) - 1) / int64(bs))
+	for b := 0; b < nblocks; b++ {
+		h, err := fs.bmap(n, dir, b, false)
+		if err != nil {
+			return err
+		}
+		if h == 0 {
+			continue
+		}
+		e, err := fs.cacheGet(h)
+		if err != nil {
+			return err
+		}
+		limit := bs
+		if rem := int(int64(dir.Size) - int64(b)*int64(bs)); rem < limit {
+			limit = rem
+		}
+		for off := 0; off+direntSize <= limit; off += direntSize {
+			if le32(e.data[off:]) == 0 {
+				writeEnt(e.data[off:], target, name)
+				e.dirty = true
+				if err := fs.writeThrough(h); err != nil {
+					return err
+				}
+				m[name] = target
+				dir.MTime = fs.now()
+				return fs.putInodeSync(n, dir)
+			}
+		}
+	}
+	idx := int(int64(dir.Size) / int64(bs))
+	off := int(int64(dir.Size) % int64(bs))
+	h, err := fs.bmap(n, dir, idx, true)
+	if err != nil {
+		return err
+	}
+	var e *centry
+	if off == 0 {
+		if err := fs.cacheInstall(h, make([]byte, bs), true); err != nil {
+			return err
+		}
+	}
+	if e, err = fs.cacheGet(h); err != nil {
+		return err
+	}
+	writeEnt(e.data[off:], target, name)
+	e.dirty = true
+	if err := fs.writeThrough(h); err != nil {
+		return err
+	}
+	m[name] = target
+	dir.Size += direntSize
+	dir.MTime = fs.now()
+	return fs.putInodeSync(n, dir)
+}
+
+func writeEnt(p []byte, ino uint32, name string) {
+	put32(p[0:], ino)
+	nb := p[4:direntSize]
+	for i := range nb {
+		nb[i] = 0
+	}
+	copy(nb, name)
+}
+
+func (fs *FS) dirRemove(n uint32, dir *inode, name string) error {
+	m, err := fs.loadDcache(n, dir)
+	if err != nil {
+		return err
+	}
+	if _, ok := m[name]; !ok {
+		return vfs.ErrNotExist
+	}
+	bs := fs.cfg.BlockSize
+	nblocks := int((int64(dir.Size) + int64(bs) - 1) / int64(bs))
+	for b := 0; b < nblocks; b++ {
+		h, err := fs.bmap(n, dir, b, false)
+		if err != nil {
+			return err
+		}
+		if h == 0 {
+			continue
+		}
+		e, err := fs.cacheGet(h)
+		if err != nil {
+			return err
+		}
+		limit := bs
+		if rem := int(int64(dir.Size) - int64(b)*int64(bs)); rem < limit {
+			limit = rem
+		}
+		for off := 0; off+direntSize <= limit; off += direntSize {
+			if le32(e.data[off:]) == 0 {
+				continue
+			}
+			if string(bytes.TrimRight(e.data[off+4:off+direntSize], "\x00")) == name {
+				put32(e.data[off:], 0)
+				e.dirty = true
+				if err := fs.writeThrough(h); err != nil {
+					return err
+				}
+				delete(m, name)
+				dir.MTime = fs.now()
+				return fs.putInodeSync(n, dir)
+			}
+		}
+	}
+	delete(fs.dcache, n)
+	return vfs.ErrNotExist
+}
+
+// ---- path walking ----
+
+func (fs *FS) resolve(path string) (uint32, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	cur := uint32(rootIno)
+	for _, name := range parts {
+		ino, err := fs.getInode(cur)
+		if err != nil {
+			return 0, err
+		}
+		if ino.Mode != modeDir {
+			return 0, vfs.ErrNotDir
+		}
+		next, err := fs.dirLookup(cur, &ino, name)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) resolveParent(path string) (uint32, string, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(parts) == 0 {
+		return 0, "", vfs.ErrInvalid
+	}
+	name := parts[len(parts)-1]
+	if len(name) > maxNameLen {
+		return 0, "", vfs.ErrNameTooLong
+	}
+	cur := uint32(rootIno)
+	for _, comp := range parts[:len(parts)-1] {
+		ino, err := fs.getInode(cur)
+		if err != nil {
+			return 0, "", err
+		}
+		if ino.Mode != modeDir {
+			return 0, "", vfs.ErrNotDir
+		}
+		next, err := fs.dirLookup(cur, &ino, comp)
+		if err != nil {
+			return 0, "", err
+		}
+		cur = next
+	}
+	return cur, name, nil
+}
+
+// ---- vfs.FileSystem ----
+
+func (fs *FS) check() error {
+	if fs.closed {
+		return vfs.ErrClosed
+	}
+	return nil
+}
+
+// Create implements vfs.FileSystem, with synchronous metadata writes.
+func (fs *FS) Create(path string) (vfs.File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	dirIno, name, err := fs.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := fs.getInode(dirIno)
+	if err != nil {
+		return nil, err
+	}
+	if dir.Mode != modeDir {
+		return nil, vfs.ErrNotDir
+	}
+	if existing, err := fs.dirLookup(dirIno, &dir, name); err == nil {
+		ino, err := fs.getInode(existing)
+		if err != nil {
+			return nil, err
+		}
+		if ino.Mode == modeDir {
+			return nil, vfs.ErrIsDir
+		}
+		if err := fs.freeAllBlocks(&ino); err != nil {
+			return nil, err
+		}
+		ino.MTime = fs.now()
+		if err := fs.putInodeSync(existing, &ino); err != nil {
+			return nil, err
+		}
+		if err := fs.flushGroups(); err != nil {
+			return nil, err
+		}
+		return &file{fs: fs, n: existing}, nil
+	}
+	n, err := fs.allocIno(fs.inodeGroup(dirIno))
+	if err != nil {
+		return nil, err
+	}
+	ino := inode{Mode: modeFile, Links: 1, MTime: fs.now()}
+	if err := fs.putInodeSync(n, &ino); err != nil {
+		return nil, err
+	}
+	if err := fs.dirAdd(dirIno, &dir, name, n); err != nil {
+		return nil, err
+	}
+	if err := fs.flushGroups(); err != nil {
+		return nil, err
+	}
+	fs.stats.Creates++
+	return &file{fs: fs, n: n}, nil
+}
+
+// Open implements vfs.FileSystem.
+func (fs *FS) Open(path string) (vfs.File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	n, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	ino, err := fs.getInode(n)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode == modeDir {
+		return nil, vfs.ErrIsDir
+	}
+	return &file{fs: fs, n: n}, nil
+}
+
+// Unlink implements vfs.FileSystem, with synchronous metadata writes.
+func (fs *FS) Unlink(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	dirIno, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	dir, err := fs.getInode(dirIno)
+	if err != nil {
+		return err
+	}
+	n, err := fs.dirLookup(dirIno, &dir, name)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.getInode(n)
+	if err != nil {
+		return err
+	}
+	if ino.Mode == modeDir {
+		return vfs.ErrIsDir
+	}
+	if err := fs.dirRemove(dirIno, &dir, name); err != nil {
+		return err
+	}
+	ino.Links--
+	if ino.Links == 0 {
+		if err := fs.freeAllBlocks(&ino); err != nil {
+			return err
+		}
+		ino.Mode = modeFree
+		if err := fs.putInodeSync(n, &ino); err != nil {
+			return err
+		}
+		fs.freeIno(n)
+	} else if err := fs.putInodeSync(n, &ino); err != nil {
+		return err
+	}
+	if err := fs.flushGroups(); err != nil {
+		return err
+	}
+	fs.stats.Unlinks++
+	return nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	dirIno, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	dir, err := fs.getInode(dirIno)
+	if err != nil {
+		return err
+	}
+	if dir.Mode != modeDir {
+		return vfs.ErrNotDir
+	}
+	if _, err := fs.dirLookup(dirIno, &dir, name); err == nil {
+		return vfs.ErrExist
+	}
+	n, err := fs.allocIno(fs.inodeGroup(dirIno))
+	if err != nil {
+		return err
+	}
+	ino := inode{Mode: modeDir, Links: 1, MTime: fs.now()}
+	if err := fs.putInodeSync(n, &ino); err != nil {
+		return err
+	}
+	if err := fs.dirAdd(dirIno, &dir, name, n); err != nil {
+		return err
+	}
+	return fs.flushGroups()
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(path string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	dirIno, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	dir, err := fs.getInode(dirIno)
+	if err != nil {
+		return err
+	}
+	n, err := fs.dirLookup(dirIno, &dir, name)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.getInode(n)
+	if err != nil {
+		return err
+	}
+	if ino.Mode != modeDir {
+		return vfs.ErrNotDir
+	}
+	m, err := fs.loadDcache(n, &ino)
+	if err != nil {
+		return err
+	}
+	if len(m) != 0 {
+		return vfs.ErrNotEmpty
+	}
+	if err := fs.dirRemove(dirIno, &dir, name); err != nil {
+		return err
+	}
+	if err := fs.freeAllBlocks(&ino); err != nil {
+		return err
+	}
+	ino.Mode = modeFree
+	if err := fs.putInodeSync(n, &ino); err != nil {
+		return err
+	}
+	fs.freeIno(n)
+	delete(fs.dcache, n)
+	return fs.flushGroups()
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(path string) ([]vfs.FileInfo, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	n, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	ino, err := fs.getInode(n)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode != modeDir {
+		return nil, vfs.ErrNotDir
+	}
+	m, err := fs.loadDcache(n, &ino)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vfs.FileInfo, 0, len(m))
+	for name, cn := range m {
+		child, err := fs.getInode(cn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vfs.FileInfo{
+			Name:  name,
+			Size:  int64(child.Size),
+			IsDir: child.Mode == modeDir,
+			Inode: cn,
+			Links: int(child.Links),
+			MTime: child.MTime,
+		})
+	}
+	return out, nil
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	oldDir, oldName, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	newDir, newName, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	od, err := fs.getInode(oldDir)
+	if err != nil {
+		return err
+	}
+	n, err := fs.dirLookup(oldDir, &od, oldName)
+	if err != nil {
+		return err
+	}
+	nd, err := fs.getInode(newDir)
+	if err != nil {
+		return err
+	}
+	if existing, err := fs.dirLookup(newDir, &nd, newName); err == nil {
+		if existing == n {
+			return nil
+		}
+		return vfs.ErrExist
+	}
+	if err := fs.dirAdd(newDir, &nd, newName, n); err != nil {
+		return err
+	}
+	od, err = fs.getInode(oldDir)
+	if err != nil {
+		return err
+	}
+	return fs.dirRemove(oldDir, &od, oldName)
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	if err := fs.check(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	n, err := fs.resolve(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	ino, err := fs.getInode(n)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	parts, _ := vfs.SplitPath(path)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return vfs.FileInfo{
+		Name:  name,
+		Size:  int64(ino.Size),
+		IsDir: ino.Mode == modeDir,
+		Inode: n,
+		Links: int(ino.Links),
+		MTime: ino.MTime,
+	}, nil
+}
+
+// Sync implements vfs.FileSystem.
+func (fs *FS) Sync() error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	return fs.syncAll()
+}
+
+// DropCaches implements vfs.FileSystem.
+func (fs *FS) DropCaches() error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	if err := fs.syncAll(); err != nil {
+		return err
+	}
+	fs.cache = make(map[uint32]*list.Element)
+	fs.lru = list.New()
+	fs.cacheSz = 0
+	fs.dcache = make(map[uint32]map[string]uint32)
+	return nil
+}
+
+// Close implements vfs.FileSystem.
+func (fs *FS) Close() error {
+	if fs.closed {
+		return nil
+	}
+	if err := fs.syncAll(); err != nil {
+		return err
+	}
+	fs.closed = true
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (fs *FS) Stats() Stats { return fs.stats }

@@ -1,0 +1,322 @@
+// Package fstest provides a black-box conformance suite for the
+// vfs.FileSystem implementations in this repository, so that MINIX (both
+// backends) and the FFS-like baseline are held to identical semantics.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// Factory creates a fresh, empty file system for one test.
+type Factory func(t *testing.T) vfs.FileSystem
+
+// Conformance runs the full suite against the factory.
+func Conformance(t *testing.T, mk Factory) {
+	t.Run("BasicRoundTrip", func(t *testing.T) { basicRoundTrip(t, mk(t)) })
+	t.Run("LargeFile", func(t *testing.T) { largeFile(t, mk(t)) })
+	t.Run("Directories", func(t *testing.T) { directories(t, mk(t)) })
+	t.Run("UnlinkRecreate", func(t *testing.T) { unlinkRecreate(t, mk(t)) })
+	t.Run("TruncateRegrow", func(t *testing.T) { truncateRegrow(t, mk(t)) })
+	t.Run("SparseHoles", func(t *testing.T) { sparseHoles(t, mk(t)) })
+	t.Run("Rename", func(t *testing.T) { rename(t, mk(t)) })
+	t.Run("Errors", func(t *testing.T) { errorsSuite(t, mk(t)) })
+	t.Run("CacheDrop", func(t *testing.T) { cacheDrop(t, mk(t)) })
+	t.Run("RandomShadow", func(t *testing.T) { randomShadow(t, mk(t)) })
+}
+
+func write(t *testing.T, fs vfs.FileSystem, path string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func read(t *testing.T, fs vfs.FileSystem, path string) []byte {
+	t.Helper()
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf
+}
+
+func basicRoundTrip(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	data := []byte("conformance payload")
+	write(t, fs, "/f", data)
+	if got := read(t, fs, "/f"); !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	info, err := fs.Stat("/f")
+	if err != nil || info.Size != int64(len(data)) || info.IsDir {
+		t.Fatalf("stat %+v err %v", info, err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func largeFile(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	const size = 3 << 20
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, size)
+	rng.Read(data)
+	f, err := fs.Create("/large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for off := 0; off < size; off += 128 * 1024 {
+		if _, err := f.WriteAt(data[off:off+128*1024], int64(off)); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	// Sequential read back.
+	got := make([]byte, size)
+	if n, err := f.ReadAt(got, 0); err != nil || n != size {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large file corrupted")
+	}
+	// Random reads.
+	for i := 0; i < 50; i++ {
+		off := rng.Intn(size - 1000)
+		buf := make([]byte, 1000)
+		if _, err := f.ReadAt(buf, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[off:off+1000]) {
+			t.Fatalf("random read at %d differs", off)
+		}
+	}
+	// Random overwrites.
+	for i := 0; i < 50; i++ {
+		off := rng.Intn(size - 1000)
+		patch := make([]byte, 1000)
+		rng.Read(patch)
+		if _, err := f.WriteAt(patch, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		copy(data[off:], patch)
+	}
+	if n, err := f.ReadAt(got, 0); err != nil || n != size {
+		t.Fatalf("re-read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("random overwrites corrupted file")
+	}
+}
+
+func directories(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	if err := fs.Mkdir("/d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d1/d2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		write(t, fs, fmt.Sprintf("/d1/d2/f%d", i), []byte{byte(i)})
+	}
+	infos, err := fs.ReadDir("/d1/d2")
+	if err != nil || len(infos) != 50 {
+		t.Fatalf("%d entries, err %v", len(infos), err)
+	}
+	st, err := fs.Stat("/d1")
+	if err != nil || !st.IsDir {
+		t.Fatalf("stat dir: %+v %v", st, err)
+	}
+	if err := fs.Rmdir("/d1/d2"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+}
+
+func unlinkRecreate(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	for round := 0; round < 5; round++ {
+		payload := bytes.Repeat([]byte{byte(round)}, 30000+round*1000)
+		write(t, fs, "/cycle", payload)
+		if got := read(t, fs, "/cycle"); !bytes.Equal(got, payload) {
+			t.Fatalf("round %d corrupted", round)
+		}
+		if err := fs.Unlink("/cycle"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Open("/cycle"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("round %d: still exists: %v", round, err)
+		}
+	}
+}
+
+func truncateRegrow(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	data := bytes.Repeat([]byte{0xEF}, 150000)
+	write(t, fs, "/t", data)
+	f, err := fs.Open("/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(120000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 120000)
+	if n, err := f.ReadAt(got, 0); err != nil || n != 120000 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got[:10000], data[:10000]) {
+		t.Fatal("kept prefix corrupted")
+	}
+	for i := 10000; i < 120000; i++ {
+		if got[i] != 0 {
+			t.Fatalf("regrown byte %d = %#x, want 0", i, got[i])
+		}
+	}
+}
+
+func sparseHoles(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	f, err := fs.Create("/sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("tail"), 500000); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	if _, err := f.ReadAt(buf, 100000); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("hole byte %d nonzero", i)
+		}
+	}
+	if f.Size() != 500004 {
+		t.Fatalf("size %d", f.Size())
+	}
+}
+
+func rename(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	write(t, fs, "/src", []byte("move me"))
+	if err := fs.Mkdir("/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/src", "/dst/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, fs, "/dst/moved"); string(got) != "move me" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := fs.Stat("/src"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("src alive: %v", err)
+	}
+}
+
+func errorsSuite(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	if _, err := fs.Open("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := fs.Unlink("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("unlink missing: %v", err)
+	}
+	if _, err := fs.Open("bad"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("relative: %v", err)
+	}
+	write(t, fs, "/file", []byte("x"))
+	if err := fs.Rmdir("/file"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("rmdir file: %v", err)
+	}
+	if err := fs.Mkdir("/file"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("mkdir over file: %v", err)
+	}
+	if _, err := fs.Create("/file/child"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("create under file: %v", err)
+	}
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/dir"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+}
+
+func cacheDrop(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 300000)
+	rng.Read(data)
+	write(t, fs, "/persisted", data)
+	if err := fs.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, fs, "/persisted"); !bytes.Equal(got, data) {
+		t.Fatal("data lost across cache drop")
+	}
+}
+
+func randomShadow(t *testing.T, fs vfs.FileSystem) {
+	defer fs.Close()
+	shadow := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(123))
+	names := []string{"/s0", "/s1", "/s2", "/s3", "/s4", "/s5"}
+	for step := 0; step < 200; step++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(5) {
+		case 0, 1:
+			payload := make([]byte, rng.Intn(40000))
+			rng.Read(payload)
+			write(t, fs, name, payload)
+			shadow[name] = payload
+		case 2:
+			if _, ok := shadow[name]; !ok {
+				continue
+			}
+			if err := fs.Unlink(name); err != nil {
+				t.Fatal(err)
+			}
+			delete(shadow, name)
+		case 3:
+			if err := fs.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			want, ok := shadow[name]
+			if !ok {
+				continue
+			}
+			if got := read(t, fs, name); !bytes.Equal(got, want) {
+				t.Fatalf("step %d: %s differs", step, name)
+			}
+		}
+	}
+	for name, want := range shadow {
+		if got := read(t, fs, name); !bytes.Equal(got, want) {
+			t.Fatalf("final: %s differs", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package lld
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// Micro-benchmarks for the LLD hot paths. Virtual disk time is free in
+// wall-clock terms, so these measure the CPU cost of the implementation
+// itself (map updates, summary encoding, segment memcpy).
+
+func benchLLD(b *testing.B, capacity int64) *LLD {
+	b.Helper()
+	d := disk.New(disk.DefaultConfig(capacity))
+	o := DefaultOptions()
+	if err := Format(d, o); err != nil {
+		b.Fatal(err)
+	}
+	l, err := Open(d, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	l := benchLLD(b, 256<<20)
+	lid, _ := l.NewList(ld.NilList, ld.ListHints{})
+	data := bytes.Repeat([]byte{7}, 4096)
+	// Overwrite one block repeatedly: map update + segment append.
+	blk, _ := l.NewBlock(lid, ld.NilBlock)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Write(blk, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead4K(b *testing.B) {
+	l := benchLLD(b, 64<<20)
+	lid, _ := l.NewList(ld.NilList, ld.ListHints{})
+	blk, _ := l.NewBlock(lid, ld.NilBlock)
+	data := bytes.Repeat([]byte{7}, 4096)
+	if err := l.Write(blk, data); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Read(blk, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewDeleteBlock(b *testing.B) {
+	l := benchLLD(b, 64<<20)
+	lid, _ := l.NewList(ld.NilList, ld.ListHints{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, err := l.NewBlock(lid, ld.NilBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.DeleteBlock(blk, lid, ld.NilBlock); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverySweep(b *testing.B) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	o := DefaultOptions()
+	if err := Format(d, o); err != nil {
+		b.Fatal(err)
+	}
+	l, err := Open(d, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lid, _ := l.NewList(ld.NilList, ld.ListHints{})
+	data := bytes.Repeat([]byte{1}, 4096)
+	pred := ld.NilBlock
+	for i := 0; i < 2000; i++ {
+		blk, err := l.NewBlock(lid, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Write(blk, data); err != nil {
+			b.Fatal(err)
+		}
+		pred = blk
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Shutdown(false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, err := Open(d, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l2.Shutdown(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSummaryEncodeDecode(b *testing.B) {
+	lay, err := computeLayout(16<<20, 512, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := make([]byte, lay.segmentSize)
+	var entries []blockEntry
+	var tuples []tupleRec
+	for i := 0; i < 120; i++ {
+		entries = append(entries, blockEntry{bid: ld.BlockID(i + 1), ts: uint64(i), off: uint32(i * 4096), stored: 4096, orig: 4096, flags: entryCommitted})
+		tuples = append(tuples, tupleRec{kind: tAlloc, flags: tupleCommitted, ts: uint64(i), args: [6]uint32{uint32(i + 1), 1, 0, uint32(i), 0}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := encodeSummary(seg, lay, 3, 999, true, 120*4096, entries, tuples); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeSummary(seg[lay.dataCap():], lay, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

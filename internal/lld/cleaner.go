@@ -1,0 +1,489 @@
+package lld
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/ld"
+)
+
+var debugClean = os.Getenv("LLD_DEBUG") != ""
+
+// The cleaner produces empty segments by moving the live blocks out of
+// mostly-dead segments (paper §3.5). Victims are chosen greedily by fewest
+// live bytes or by Rosenblum & Ousterhout's cost-benefit formula. While
+// copying, the cleaner uses the list information to reorder blocks into
+// list order, improving sequential read performance — the paper's
+// "simplistic clustering strategy".
+//
+// Because LLD keeps no checkpoints, every metadata fact must remain
+// derivable from the summaries of live segments. Before a victim's summary
+// is destroyed, the cleaner re-logs (with fresh timestamps) the current
+// value of every field whose newest determining record lives in that
+// summary: a tBlockState/tListState snapshot for live entities, a
+// tBlockFree/tDelList tombstone for freed ones, a tDataAt for data
+// locations. The per-field timestamps kept by noteTuple make the check
+// O(records in the victim). This is the paper's "removes old logging
+// information ... during cleaning" (§3.5) made precise.
+
+// maybeClean runs the cleaner if the free-segment pool is at or below the
+// low watermark. Callers hold l.mu.
+func (l *LLD) maybeClean() error {
+	if l.cleaning {
+		return nil
+	}
+	if len(l.freeSegs)+len(l.cooling) > l.opts.CleanLow {
+		return nil
+	}
+	l.cleaning = true
+	defer func() { l.cleaning = false }()
+	l.stats.CleanerRuns++
+	var skip map[int]bool
+	for iter := 0; len(l.freeSegs)+len(l.cooling)+len(l.pendingARU) < l.opts.CleanHigh && iter < 8*l.opts.CleanHigh; iter++ {
+		before := len(l.freeSegs) + len(l.cooling) + len(l.pendingARU)
+		victim := l.pickVictim(skip)
+		if victim < 0 {
+			break
+		}
+		if debugClean {
+			fmt.Printf("CLEAN victim=%d live=%d free=%d cooling=%d\n", victim, l.segs[victim].live, len(l.freeSegs), len(l.cooling))
+		}
+		if err := l.cleanSegment(victim); err != nil {
+			if errors.Is(err, ld.ErrNoSpace) && len(l.freeSegs) == 0 && l.cur == nil {
+				// Bootstrap: no room to re-log this victim's facts and no
+				// open segment to hold them. The failure is clean (the
+				// first required write already failed), so set this victim
+				// aside and look for one whose facts are all superseded —
+				// freeing it needs no space at all.
+				if skip == nil {
+					skip = make(map[int]bool)
+				}
+				skip[victim] = true
+				continue
+			}
+			if debugClean {
+				fmt.Printf("CLEAN ERR %v\n", err)
+			}
+			return err
+		}
+		if len(l.freeSegs)+len(l.cooling)+len(l.pendingARU) <= before {
+			// Fact-bound victim: re-logging its summary cost as much as
+			// cleaning freed. Consolidate so old facts become droppable.
+			l.futility++
+			if l.futility >= 2 {
+				if err := l.consolidate(); err != nil {
+					return err
+				}
+				l.futility = 0
+			}
+		} else {
+			l.futility = 0
+		}
+	}
+	return nil
+}
+
+// Clean runs one cleaning pass explicitly (used by tools, benchmarks and
+// the idle reorganizer). It cleans up to n segments and returns how many
+// it cleaned.
+func (l *LLD) Clean(n int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return 0, err
+	}
+	if l.cleaning {
+		return 0, nil
+	}
+	l.cleaning = true
+	defer func() { l.cleaning = false }()
+	cleaned := 0
+	for i := 0; i < n; i++ {
+		victim := l.pickVictim(nil)
+		if victim < 0 {
+			break
+		}
+		if err := l.cleanSegment(victim); err != nil {
+			return cleaned, err
+		}
+		cleaned++
+	}
+	return cleaned, nil
+}
+
+// pickVictim selects the next segment to clean, or -1 if none qualifies.
+// Segments in skip are passed over. Callers hold l.mu.
+func (l *LLD) pickVictim(skip map[int]bool) int {
+	best := -1
+	var bestKey float64
+	for i := range l.segs {
+		s := &l.segs[i]
+		if s.state != segLive || skip[i] {
+			continue
+		}
+		u := float64(s.live) / float64(l.lay.dataCap())
+		if u >= 1 {
+			continue // nothing to gain
+		}
+		var key float64
+		switch l.opts.Policy {
+		case PolicyCostBenefit:
+			age := float64(l.ts-s.ts) + 1
+			key = (1 - u) * age / (1 + u)
+		default: // greedy: fewest live bytes; prefer older on ties
+			key = -float64(s.live) - float64(s.ts)/float64(l.ts+1)
+		}
+		if best < 0 || key > bestKey {
+			best, bestKey = i, key
+		}
+	}
+	return best
+}
+
+// cleanSegment moves the live blocks out of segment id, re-logs the facts
+// whose newest record lives in its summary, and retires it. Callers hold
+// l.mu with l.cleaning set.
+func (l *LLD) cleanSegment(id int) error {
+	if l.cleanBuf == nil {
+		l.cleanBuf = make([]byte, l.lay.segmentSize)
+	}
+	buf := l.cleanBuf
+	if err := l.dsk.ReadAt(buf, l.lay.segOff(id)); err != nil {
+		return err
+	}
+	si, err := decodeNewestSummary(buf[l.lay.dataCap():], l.lay, id)
+	if err != nil {
+		return fmt.Errorf("lld: cleaning live segment %d: %w", id, err)
+	}
+
+	// Live blocks: everything the block-number map still places in this
+	// segment. The summary's own entries cover all of them except blocks
+	// re-homed here by SwapContents; a full map scan is only needed when
+	// the entry-derived accounting disagrees with the usage table.
+	live := make(map[ld.BlockID]bool)
+	var liveBytes int64
+	for _, e := range si.entries {
+		if int(e.bid) >= len(l.blocks) {
+			continue
+		}
+		bi := &l.blocks[e.bid]
+		if bi.allocated() && bi.hasData() && int(bi.seg) == id && bi.off == e.off && !live[e.bid] {
+			live[e.bid] = true
+			liveBytes += int64(bi.stored)
+		}
+	}
+	if liveBytes != l.segs[id].live {
+		live = make(map[ld.BlockID]bool)
+		for i := 1; i < len(l.blocks); i++ {
+			bi := &l.blocks[i]
+			if bi.allocated() && bi.hasData() && int(bi.seg) == id {
+				live[ld.BlockID(i)] = true
+			}
+		}
+	}
+
+	// Cluster: emit live blocks in list order, lists in list-of-lists
+	// order (paper §3.5: the cleaner reorders blocks using the list
+	// information to improve sequential reads).
+	var ordered []ld.BlockID
+	if len(live) > 0 {
+		seen := 0
+		for _, lid := range l.order {
+			li := l.lists[lid]
+			for b := li.first; b != ld.NilBlock && seen < len(live); b = l.blocks[b].next {
+				if live[b] {
+					ordered = append(ordered, b)
+					seen++
+				}
+			}
+			if seen == len(live) {
+				break
+			}
+		}
+		if seen < len(live) { // defensive: unreachable chain members
+			for b := range live {
+				found := false
+				for _, o := range ordered {
+					if o == b {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ordered = append(ordered, b)
+					l.stats.RecoveryAnomalies++
+				}
+			}
+		}
+	}
+
+	for _, bid := range ordered {
+		if err := l.moveBlock(bid, buf); err != nil {
+			return err
+		}
+	}
+
+	// Re-log every fact whose newest determining record lives in this
+	// summary. Records are absolute per-field assignments, so the check is
+	// per field: a block's existence/membership (existTS), its successor
+	// pointer (linkTS), its data location (dataTS), and a list's existence,
+	// head, and order position. If the victim holds the newest record for
+	// a field, the cleaner restates that field with a fresh timestamp
+	// before the summary is destroyed — this is the paper's "removes old
+	// logging information ... during cleaning" (§3.5) made precise.
+	emittedBefore := l.stats.SnapshotTuples
+	mExist := make(map[ld.BlockID]uint64)
+	mLink := make(map[ld.BlockID]uint64)
+	mData := make(map[ld.BlockID]uint64)
+	mList := make(map[ld.ListID]uint64)
+	var fences [][6]uint32
+	noteMax := func(m map[ld.BlockID]uint64, b uint32, ts uint64) {
+		if b != 0 && ts > m[ld.BlockID(b)] {
+			m[ld.BlockID(b)] = ts
+		}
+	}
+	noteList := func(v uint32, ts uint64) {
+		if v != 0 && ts > mList[ld.ListID(v)] {
+			mList[ld.ListID(v)] = ts
+		}
+	}
+	for _, e := range si.entries {
+		noteMax(mData, uint32(e.bid), e.ts)
+	}
+	for _, t := range si.tuples {
+		switch t.kind {
+		case tAlloc:
+			noteMax(mExist, t.args[0], t.ts)
+			noteMax(mLink, t.args[0], t.ts)
+			noteMax(mData, t.args[0], t.ts)
+			if t.args[4]&1 != 0 {
+				noteList(t.args[1], t.ts)
+			} else {
+				noteMax(mLink, t.args[3], t.ts)
+			}
+		case tFree:
+			noteMax(mExist, t.args[0], t.ts)
+			noteMax(mLink, t.args[0], t.ts)
+			noteMax(mData, t.args[0], t.ts)
+			if t.args[4]&1 != 0 {
+				noteList(t.args[1], t.ts)
+			} else {
+				noteMax(mLink, t.args[2], t.ts)
+			}
+		case tNewList, tDelList, tMoveList, tListState:
+			noteList(t.args[0], t.ts)
+		case tBlockState:
+			noteMax(mExist, t.args[0], t.ts)
+			noteMax(mLink, t.args[0], t.ts)
+		case tBlockFree:
+			noteMax(mExist, t.args[0], t.ts)
+			noteMax(mLink, t.args[0], t.ts)
+			noteMax(mData, t.args[0], t.ts)
+		case tDataAt:
+			noteMax(mData, t.args[0], t.ts)
+		case tFence:
+			// An abort fence lives only in summaries; it must survive the
+			// victim's destruction unless a checkpoint floor covers the
+			// entire dead window.
+			if uint64(t.args[2])|uint64(t.args[3])<<32 > l.ckptTS {
+				fences = append(fences, t.args)
+			}
+		}
+	}
+	// Merge the exist/link aspects: a tBlockState (or tombstone) restates
+	// both at once.
+	for bid, ts := range mLink {
+		if ts > mExist[bid] {
+			mExist[bid] = ts
+		}
+	}
+	for bid, m := range mExist {
+		if int(bid) >= len(l.blocks) || m <= l.ckptTS {
+			continue // out of range, or covered by the checkpoint
+		}
+		bi := &l.blocks[bid]
+		if bi.existTS > m && bi.linkTS > m {
+			continue // newer records exist in other live segments
+		}
+		if err := l.emitBlockSnap(bid); err != nil {
+			return err
+		}
+	}
+	for lid, m := range mList {
+		if m <= l.ckptTS {
+			continue
+		}
+		li, ok := l.lists[lid]
+		if ok && li.existTS > m && li.headTS > m && li.orderTS > m {
+			continue
+		}
+		if !ok {
+			if dl, dead := l.deadLists[lid]; dead && dl > m {
+				continue // a newer tombstone survives in another segment
+			}
+		}
+		if err := l.emitListSnap(lid); err != nil {
+			return err
+		}
+	}
+	// Data-location facts: a block whose newest data record (an entry here,
+	// a swap, or a prior tDataAt) lives in this summary but whose data
+	// lives elsewhere needs its coordinates restated, or recovery would
+	// misplace it. Blocks whose data was in this segment were just moved
+	// (fresh entries) and fail the dataTS check.
+	for bid, m := range mData {
+		if int(bid) >= len(l.blocks) || m <= l.ckptTS {
+			continue
+		}
+		bi := &l.blocks[bid]
+		if !bi.allocated() || bi.dataTS > m {
+			continue
+		}
+		if err := l.emitDataSnap(bid); err != nil {
+			return err
+		}
+	}
+	for _, args := range fences {
+		if err := l.ensureRoom(0, tupleSpace(tFence)); err != nil {
+			return err
+		}
+		l.emitTuple(tFence, args[0], args[1], args[2], args[3])
+		l.stats.SnapshotTuples++
+	}
+
+	if l.segs[id].live != 0 {
+		return fmt.Errorf("lld: internal: segment %d retains %d live bytes after cleaning", id, l.segs[id].live)
+	}
+	if len(ordered) == 0 && l.stats.SnapshotTuples == emittedBefore && l.cur == nil && !l.aruOpen {
+		// Nothing was moved and nothing re-logged: every fact in this
+		// summary is superseded by records already durable elsewhere (no
+		// open segment means no undurable winners), so the cooling rule's
+		// wait-for-durability has nothing to wait for. Free it directly —
+		// this is also what lets recovery bootstrap cleaning on a disk
+		// whose every segment carries a (stale) summary.
+		l.segs[id].state = segFree
+		l.freeSegs = append(l.freeSegs, id)
+		l.stats.SegmentsCleaned++
+		return nil
+	}
+	l.retireSegment(id)
+	l.stats.SegmentsCleaned++
+	return nil
+}
+
+// consolidate writes a consolidation checkpoint: the open segment's
+// contents are made durable first (a partial write) so every block
+// coordinate the checkpoint records exists on disk. Callers hold l.mu.
+func (l *LLD) consolidate() error {
+	if l.aruOpen {
+		return nil // never capture half an atomic recovery unit
+	}
+	if l.cur != nil && l.cur.dirty {
+		if err := l.writePartial(); err != nil {
+			return err
+		}
+	}
+	if debugClean {
+		fmt.Printf("CONSOLIDATE ts=%d\n", l.ts)
+	}
+	l.stats.Consolidations++
+	return l.writeCheckpoint(false)
+}
+
+// moveBlock copies one live block from the victim's in-memory image into
+// the open segment, preserving its (possibly compressed) stored form. With
+// CompressOnClean, raw blocks of Compress-hinted lists are compressed here
+// — they are cold by definition, which is the §3.3 alternative strategy.
+// Callers hold l.mu.
+func (l *LLD) moveBlock(bid ld.BlockID, victimBuf []byte) error {
+	bi := &l.blocks[bid]
+	data := victimBuf[bi.off : bi.off+bi.stored]
+	compressedNow := bi.flags&bComp != 0
+	if l.opts.CompressOnClean && !compressedNow && int(bi.stored) >= 64 {
+		if li := l.lists[bi.lid]; li != nil && li.hints.Compress {
+			c := compress.Compress(make([]byte, 0, len(data)), data)
+			l.compressCPU += l.opts.compressDelay(len(data))
+			if len(c) < len(data) {
+				data = c
+				compressedNow = true
+				l.stats.CleanCompress++
+			}
+		}
+	}
+	if err := l.ensureRoom(len(data), blockEntryEncSize); err != nil {
+		return err
+	}
+	bi = &l.blocks[bid] // re-fetch after potential reentrancy
+	off := l.appendData(data)
+	flags := uint8(0)
+	if compressedNow {
+		flags |= entryCompressed
+	}
+	if !l.aruOpen {
+		flags |= entryCommitted
+	}
+	l.addEntry(blockEntry{
+		bid:    bid,
+		ts:     l.nextTS(),
+		off:    uint32(off),
+		stored: uint32(len(data)),
+		orig:   bi.orig,
+		flags:  flags,
+	})
+	l.applySetData(bid, l.cur.id, off, len(data), int(bi.orig), compressedNow)
+	l.stats.BlocksMoved++
+	return nil
+}
+
+// Reorganize is the idle-time disk reorganizer (paper §3.5): it rewrites
+// the blocks of cluster-hinted lists in list order so sequential reads hit
+// sequential disk locations, then cleans up to n segments. It is invoked
+// explicitly (during idle periods) rather than from a background goroutine
+// so simulations stay deterministic.
+func (l *LLD) Reorganize(n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if l.cleaning || l.aruOpen {
+		return nil
+	}
+	l.cleaning = true
+	defer func() { l.cleaning = false }()
+	rewritten := 0
+	for _, lid := range append([]ld.ListID(nil), l.order...) {
+		li, ok := l.lists[lid]
+		if !ok || !li.hints.Cluster {
+			continue
+		}
+		for b := li.first; b != ld.NilBlock; b = l.blocks[b].next {
+			bi := &l.blocks[b]
+			if !bi.hasData() {
+				continue
+			}
+			stored, err := l.readStored(bi)
+			if err != nil {
+				return err
+			}
+			data := append([]byte(nil), stored...)
+			if err := l.ensureRoom(len(data), blockEntryEncSize); err != nil {
+				return err
+			}
+			off := l.appendData(data)
+			flags := uint8(entryCommitted)
+			if bi.flags&bComp != 0 {
+				flags |= entryCompressed
+			}
+			l.addEntry(blockEntry{bid: b, ts: l.nextTS(), off: uint32(off), stored: bi.stored, orig: bi.orig, flags: flags})
+			l.applySetData(b, l.cur.id, off, int(bi.stored), int(bi.orig), bi.flags&bComp != 0)
+			rewritten++
+			if rewritten >= n*l.lay.dataCap()/l.lay.maxBlockSize {
+				return nil
+			}
+		}
+	}
+	return nil
+}

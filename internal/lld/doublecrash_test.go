@@ -1,0 +1,236 @@
+package lld
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// The double-crash sweep drives a workload in which every list is created
+// (with exactly five content-bearing blocks) inside one atomic recovery
+// unit and destroyed inside another. Crashing at every sector of boot one
+// and again at sampled sectors of boot two checks the full cross-boot
+// recovery story:
+//
+//   - atomicity: after any crash, every surviving list has exactly five
+//     blocks (a partially applied create or delete would show fewer);
+//   - abort fences: an ARU discarded by recovery one must not be
+//     resurrected by recovery two, even though boot two logged committed
+//     records with later timestamps;
+//   - content: every surviving block reads back the content its id
+//     dictates, or nothing at all — never a torn mixture.
+//
+// This generalizes TestExhaustiveCrashSweep (append-only, single crash) to
+// the mutation-heavy, two-failure case that found the fence and
+// dual-summary-slot bugs.
+
+// dcRule is the self-verifying content for a block id.
+func dcRule(b ld.BlockID) []byte {
+	return bytes.Repeat([]byte{byte(uint64(b)*7%251) + 1}, 1000+int(uint64(b)%7)*200)
+}
+
+// dcBoot runs one boot's workload, stopping quietly at the first error
+// (the injected crash). Each create and each delete is one ARU.
+func dcBoot(l *LLD) {
+	for i := 0; i < 20; i++ {
+		if l.BeginARU() != nil {
+			return
+		}
+		lid, err := l.NewList(ld.NilList, ld.ListHints{})
+		if err != nil {
+			return
+		}
+		pred := ld.NilBlock
+		for j := 0; j < 5; j++ {
+			b, err := l.NewBlock(lid, pred)
+			if err != nil {
+				return
+			}
+			if l.Write(b, dcRule(b)) != nil {
+				return
+			}
+			pred = b
+		}
+		if l.EndARU() != nil {
+			return
+		}
+		if i%3 == 2 {
+			if l.Flush(ld.FailPower) != nil {
+				return
+			}
+		}
+		if i%4 == 3 {
+			lists, err := l.Lists()
+			if err != nil || len(lists) < 3 {
+				continue
+			}
+			victim := lists[0]
+			blocks, err := l.ListBlocks(victim)
+			if err != nil {
+				return
+			}
+			if l.BeginARU() != nil {
+				return
+			}
+			for _, b := range blocks {
+				if l.DeleteBlock(b, victim, ld.NilBlock) != nil {
+					return
+				}
+			}
+			if l.DeleteList(victim, ld.NilList) != nil {
+				return
+			}
+			if l.EndARU() != nil {
+				return
+			}
+		}
+	}
+	l.Flush(ld.FailPower)
+}
+
+// dcAudit checks invariants, per-list atomicity, and block content.
+func dcAudit(t *testing.T, l *LLD, tag string) {
+	t.Helper()
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("%s: invariants: %v", tag, viol)
+	}
+	lists, err := l.Lists()
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	buf := make([]byte, l.MaxBlockSize())
+	for _, lid := range lists {
+		blocks, err := l.ListBlocks(lid)
+		if err != nil {
+			t.Fatalf("%s: list %d: %v", tag, lid, err)
+		}
+		if len(blocks) != 5 {
+			t.Fatalf("%s: list %d has %d blocks; creates and deletes are atomic units of 5", tag, lid, len(blocks))
+		}
+		for _, b := range blocks {
+			n, err := l.Read(b, buf)
+			if err != nil {
+				t.Fatalf("%s: read %d: %v", tag, b, err)
+			}
+			if n == 0 {
+				continue // data never reached the disk: allowed
+			}
+			want := dcRule(b)
+			if !bytes.Equal(buf[:n], want) {
+				t.Fatalf("%s: block %d content violates its rule (%d bytes)", tag, b, n)
+			}
+		}
+	}
+}
+
+func TestDoubleCrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	o := testOptions()
+
+	// Reference boot to size the sweep.
+	ref := disk.New(disk.DefaultConfig(8 << 20))
+	if err := Format(ref, o); err != nil {
+		t.Fatal(err)
+	}
+	ref.ResetStats()
+	l, err := Open(ref, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcBoot(l)
+	if err := l.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	bootSectors := ref.Stats().SectorsWritten
+
+	const stride = 7
+	var doubles, fencedRuns int
+	for k1 := int64(1); k1 < bootSectors; k1 += stride {
+		d := disk.New(disk.DefaultConfig(8 << 20))
+		if err := Format(d, o); err != nil {
+			t.Fatal(err)
+		}
+		d.ResetStats()
+		d.InjectCrashAfterSectors(k1)
+		l, err := Open(d, o)
+		if err != nil {
+			t.Fatalf("k1=%d: open: %v", k1, err)
+		}
+		dcBoot(l)
+		_ = l.Shutdown(false)
+		d.ClearCrash()
+
+		l, err = Open(d, o)
+		if err != nil {
+			t.Fatalf("k1=%d: recovery 1: %v", k1, err)
+		}
+		if l.Stats().RecoveryDiscards > 0 {
+			fencedRuns++
+		}
+		dcAudit(t, l, fmt.Sprintf("k1=%d recovery1", k1))
+
+		// Boot two writes on top of the recovered state; crash it at a few
+		// sampled depths, including early ones where the fence itself may
+		// still be the newest record.
+		mark := d.Stats().SectorsWritten
+		dcBoot(l)
+		_ = l.Shutdown(false)
+		boot2 := d.Stats().SectorsWritten - mark
+		if boot2 <= 0 {
+			continue
+		}
+		for _, frac := range []int64{1, 3, 10, boot2 / 2, boot2 - 1} {
+			if frac <= 0 || frac >= boot2 {
+				continue
+			}
+			d2 := disk.New(disk.DefaultConfig(8 << 20))
+			if err := Format(d2, o); err != nil {
+				t.Fatal(err)
+			}
+			d2.ResetStats()
+			d2.InjectCrashAfterSectors(k1)
+			lb, err := Open(d2, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dcBoot(lb)
+			_ = lb.Shutdown(false)
+			d2.ClearCrash()
+			lb, err = Open(d2, o)
+			if err != nil {
+				t.Fatalf("k1=%d: %v", k1, err)
+			}
+			d2.InjectCrashAfterSectors(frac)
+			dcBoot(lb)
+			_ = lb.Shutdown(false)
+			d2.ClearCrash()
+			lb, err = Open(d2, o)
+			if err != nil {
+				t.Fatalf("k1=%d k2=+%d: recovery 2: %v", k1, frac, err)
+			}
+			dcAudit(t, lb, fmt.Sprintf("k1=%d k2=+%d recovery2", k1, frac))
+			// The doubly-recovered instance must still be fully usable.
+			lid, err := lb.NewList(ld.NilList, ld.ListHints{})
+			if err != nil {
+				t.Fatalf("k1=%d k2=+%d: post-recovery NewList: %v", k1, frac, err)
+			}
+			if _, err := lb.NewBlock(lid, ld.NilBlock); err != nil {
+				t.Fatalf("k1=%d k2=+%d: post-recovery NewBlock: %v", k1, frac, err)
+			}
+			if err := lb.Flush(ld.FailPower); err != nil {
+				t.Fatalf("k1=%d k2=+%d: post-recovery flush: %v", k1, frac, err)
+			}
+			doubles++
+		}
+	}
+	t.Logf("swept %d first-crash points (%d sectors), %d double-crash runs, %d with a discarded ARU",
+		(bootSectors+stride-1)/stride, bootSectors, doubles, fencedRuns)
+	if fencedRuns == 0 {
+		t.Error("no crash point ever discarded an incomplete ARU; the sweep is not exercising abort fences")
+	}
+}

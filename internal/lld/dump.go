@@ -1,0 +1,107 @@
+package lld
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/disk"
+)
+
+// Dump writes a human-readable description of an LLD-formatted disk to w:
+// the superblock geometry, both checkpoint slots, and a per-segment summary
+// overview. With verbose set, every block entry and tuple is listed. It is
+// the engine behind cmd/lddump and reads the disk without mutating it.
+func Dump(d *disk.Disk, w io.Writer, verbose bool) error {
+	sector := make([]byte, d.SectorSize())
+	if err := d.ReadAt(sector, 0); err != nil {
+		return err
+	}
+	lay, err := decodeSuper(sector)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "superblock: segment=%d KB summary=%d KB maxBlock=%d maxBlocks=%d segments=%d\n",
+		lay.segmentSize/1024, lay.summarySize/1024, lay.maxBlockSize, lay.maxBlocks, lay.nSegments)
+	fmt.Fprintf(w, "layout: checkpoints at %d (2 x %d KB), segments at %d\n",
+		lay.checkpointOff, lay.checkpointSize/1024, lay.segmentsOff)
+
+	head := make([]byte, d.SectorSize())
+	for slot := 0; slot < 2; slot++ {
+		off := lay.checkpointOff + int64(slot)*lay.checkpointSize
+		if err := d.ReadAt(head, off); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic || head[20] != 1 {
+			fmt.Fprintf(w, "checkpoint %d: empty/invalid\n", slot)
+			continue
+		}
+		fmt.Fprintf(w, "checkpoint %d: ts=%d payload=%d B complete=%v\n",
+			slot, binary.LittleEndian.Uint64(head[8:]),
+			binary.LittleEndian.Uint32(head[16:]), head[21] == 1)
+	}
+
+	sum := make([]byte, 2*lay.summarySize)
+	liveSegs, freeSegs := 0, 0
+	for i := 0; i < lay.nSegments; i++ {
+		if err := d.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+			return err
+		}
+		si, err := decodeNewestSummary(sum, lay, i)
+		if err != nil {
+			freeSegs++
+			if verbose {
+				fmt.Fprintf(w, "segment %4d: free/invalid\n", i)
+			}
+			continue
+		}
+		liveSegs++
+		kind := "sealed"
+		if !si.sealed {
+			kind = "partial"
+		}
+		fmt.Fprintf(w, "segment %4d: %s ts=%d data=%d B entries=%d tuples=%d\n",
+			i, kind, si.writeTS, si.dataBytes, len(si.entries), len(si.tuples))
+		if verbose {
+			for _, e := range si.entries {
+				fmt.Fprintf(w, "    block %6d ts=%d off=%d stored=%d orig=%d flags=%#x\n",
+					e.bid, e.ts, e.off, e.stored, e.orig, e.flags)
+			}
+			for _, t := range si.tuples {
+				fmt.Fprintf(w, "    tuple %-11s ts=%d committed=%v args=%v\n",
+					tupleName(t.kind), t.ts, t.committed(), t.args[:tupleArgc[t.kind]])
+			}
+		}
+	}
+	fmt.Fprintf(w, "segments: %d with summaries, %d free/invalid\n", liveSegs, freeSegs)
+	return nil
+}
+
+func tupleName(kind uint8) string {
+	switch kind {
+	case tAlloc:
+		return "alloc"
+	case tFree:
+		return "free"
+	case tNewList:
+		return "newlist"
+	case tDelList:
+		return "dellist"
+	case tMoveList:
+		return "movelist"
+	case tCommit:
+		return "commit"
+	case tBlockState:
+		return "blockstate"
+	case tBlockFree:
+		return "blockfree"
+	case tListState:
+		return "liststate"
+	case tDataAt:
+		return "dataat"
+	case tFence:
+		return "fence"
+	default:
+		return fmt.Sprintf("kind%d", kind)
+	}
+}

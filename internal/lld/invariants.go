@@ -1,0 +1,112 @@
+package lld
+
+import (
+	"fmt"
+
+	"repro/internal/ld"
+)
+
+// CheckInvariants verifies the internal consistency of the in-memory
+// state; it is meant for tests (including post-recovery audits) and
+// returns every violation found.
+func (l *LLD) CheckInvariants() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	bad := func(format string, args ...interface{}) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+
+	// Accounting: liveBytes and per-segment live must equal the block map.
+	var total int64
+	segLiveCalc := make([]int64, len(l.segs))
+	for i := 1; i < len(l.blocks); i++ {
+		bi := &l.blocks[i]
+		if !bi.allocated() {
+			if bi.hasData() {
+				bad("block %d has data but is not allocated", i)
+			}
+			continue
+		}
+		if bi.hasData() {
+			if bi.seg < 0 || int(bi.seg) >= len(l.segs) {
+				bad("block %d data in invalid segment %d", i, bi.seg)
+				continue
+			}
+			total += int64(bi.stored)
+			segLiveCalc[bi.seg] += int64(bi.stored)
+		}
+		if _, ok := l.lists[bi.lid]; !ok {
+			bad("block %d owned by nonexistent list %d", i, bi.lid)
+		}
+	}
+	if total != l.liveBytes {
+		bad("liveBytes %d but block map sums to %d", l.liveBytes, total)
+	}
+	for i := range l.segs {
+		if l.segs[i].live != segLiveCalc[i] {
+			bad("segment %d usage %d but map sums to %d", i, l.segs[i].live, segLiveCalc[i])
+		}
+	}
+
+	// Lists: census counts match chain walks; chains are acyclic and own
+	// their members; order and table agree.
+	seen := make(map[ld.BlockID]ld.ListID)
+	for lid, li := range l.lists {
+		n := 0
+		for b := li.first; b != ld.NilBlock; b = l.blocks[b].next {
+			if int(b) >= len(l.blocks) || !l.blocks[b].allocated() {
+				bad("list %d chain reaches invalid block %d", lid, b)
+				break
+			}
+			if owner, dup := seen[b]; dup {
+				bad("block %d on lists %d and %d", b, owner, lid)
+				break
+			}
+			seen[b] = lid
+			if l.blocks[b].lid != lid {
+				bad("block %d on list %d but tagged %d", b, lid, l.blocks[b].lid)
+			}
+			n++
+			if n > len(l.blocks) {
+				bad("list %d chain exceeds block count: cycle", lid)
+				break
+			}
+		}
+		if n != li.count {
+			bad("list %d census %d but walk found %d", lid, li.count, n)
+		}
+		if l.orderIndex(lid) < 0 {
+			bad("list %d missing from the list of lists", lid)
+		}
+	}
+	for _, lid := range l.order {
+		if _, ok := l.lists[lid]; !ok {
+			bad("list of lists names nonexistent list %d", lid)
+		}
+	}
+
+	// Free pools: no allocated id in the free pool, no duplicates.
+	freeSeen := make(map[ld.BlockID]bool)
+	for _, b := range l.freeIDs {
+		if freeSeen[b] {
+			bad("block id %d in free pool twice", b)
+		}
+		freeSeen[b] = true
+		if int(b) < len(l.blocks) && l.blocks[b].allocated() {
+			bad("allocated block %d in free pool", b)
+		}
+	}
+
+	// Segment states partition the segment space.
+	for i := range l.segs {
+		st := l.segs[i].state
+		if st > segCooling {
+			bad("segment %d has unknown state %d", i, st)
+		}
+		if st == segFree && l.segs[i].live != 0 {
+			bad("free segment %d has %d live bytes", i, l.segs[i].live)
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package lld
+
+import (
+	"fmt"
+
+	"repro/internal/ld"
+)
+
+// This file contains the pure state transitions on the block-number map,
+// the list table, and the segment usage table. They perform no validation
+// and emit no tuples; the public operations validate and log, recovery
+// replays logged tuples through the same functions. Keeping one copy of
+// the state logic is what guarantees that a recovered state matches the
+// state the running system had.
+
+// applyAlloc allocates bid into list lid after pred (NilBlock = at head).
+func (l *LLD) applyAlloc(bid ld.BlockID, lid ld.ListID, pred ld.BlockID) {
+	bi := &l.blocks[bid]
+	if bi.hasData() {
+		// Stale data from a superseded generation of this id (replay of an
+		// id-reuse history): release its storage accounting first.
+		l.applyFreeStorage(bi)
+	}
+	*bi = blockInfo{
+		seg: -1, lid: lid, flags: bAllocated,
+		existTS: bi.existTS, linkTS: bi.linkTS, dataTS: bi.dataTS,
+	}
+	li := l.lists[lid]
+	if pred == ld.NilBlock {
+		bi.next = li.first
+		li.first = bid
+	} else {
+		pi := &l.blocks[pred]
+		bi.next = pi.next
+		pi.next = bid
+	}
+	li.count++
+	li.curBlk = ld.NilBlock
+}
+
+// applyUnlink removes bid from list lid given its resolved predecessor
+// (NilBlock if bid is the head). It does not free storage or the number.
+func (l *LLD) applyUnlink(bid ld.BlockID, lid ld.ListID, pred ld.BlockID) {
+	bi := &l.blocks[bid]
+	li := l.lists[lid]
+	if pred == ld.NilBlock {
+		li.first = bi.next
+	} else {
+		l.blocks[pred].next = bi.next
+	}
+	bi.next = ld.NilBlock
+	li.count--
+	li.curBlk = ld.NilBlock
+}
+
+// applyFreeStorage releases bid's stored bytes from the usage accounting.
+func (l *LLD) applyFreeStorage(bi *blockInfo) {
+	if bi.hasData() {
+		if bi.seg >= 0 {
+			l.segs[bi.seg].live -= int64(bi.stored)
+		}
+		l.liveBytes -= int64(bi.stored)
+	}
+	bi.seg = -1
+	bi.off = 0
+	bi.stored = 0
+	bi.orig = 0
+	bi.flags &^= bHasData | bComp
+}
+
+// applyFree unlinks bid from lid, frees its storage, and recycles its
+// number.
+func (l *LLD) applyFree(bid ld.BlockID, lid ld.ListID, pred ld.BlockID) {
+	l.applyUnlink(bid, lid, pred)
+	bi := &l.blocks[bid]
+	l.applyFreeStorage(bi)
+	bi.flags = 0
+	bi.lid = ld.NilList
+	l.freeIDs = append(l.freeIDs, bid)
+}
+
+// applySetData installs a new physical location for bid's data, adjusting
+// the usage accounting for both the old and new segments.
+func (l *LLD) applySetData(bid ld.BlockID, seg int, off, stored, orig int, compressed bool) {
+	bi := &l.blocks[bid]
+	if bi.hasData() && bi.seg >= 0 {
+		l.segs[bi.seg].live -= int64(bi.stored)
+		l.liveBytes -= int64(bi.stored)
+	}
+	bi.seg = int32(seg)
+	bi.off = uint32(off)
+	bi.stored = uint32(stored)
+	bi.orig = uint32(orig)
+	bi.flags |= bHasData
+	if compressed {
+		bi.flags |= bComp
+	} else {
+		bi.flags &^= bComp
+	}
+	l.segs[seg].live += int64(stored)
+	l.liveBytes += int64(stored)
+}
+
+// applyNewList creates list lid after predLid in the list of lists
+// (NilList = at the front).
+func (l *LLD) applyNewList(lid ld.ListID, predLid ld.ListID, hints ld.ListHints) {
+	ni := &listInfo{hints: hints}
+	if old, ok := l.lists[lid]; ok {
+		// List id reuse (possible during replay when an intermediate
+		// deletion record was superseded): drop the stale order entry but
+		// keep the record-timestamp bookkeeping.
+		ni.existTS, ni.headTS, ni.orderTS = old.existTS, old.headTS, old.orderTS
+		if idx := l.orderIndex(lid); idx >= 0 {
+			l.order = append(l.order[:idx], l.order[idx+1:]...)
+		}
+	}
+	l.lists[lid] = ni
+	idx := 0
+	if predLid != ld.NilList {
+		idx = l.orderIndex(predLid) + 1
+	}
+	l.order = append(l.order, 0)
+	copy(l.order[idx+1:], l.order[idx:])
+	l.order[idx] = lid
+}
+
+// applyDelList removes lid and frees every block remaining on it.
+func (l *LLD) applyDelList(lid ld.ListID) {
+	li := l.lists[lid]
+	for b := li.first; b != ld.NilBlock; {
+		bi := &l.blocks[b]
+		next := bi.next
+		l.applyFreeStorage(bi)
+		bi.flags = 0
+		bi.next = ld.NilBlock
+		bi.lid = ld.NilList
+		l.freeIDs = append(l.freeIDs, b)
+		b = next
+	}
+	delete(l.lists, lid)
+	if idx := l.orderIndex(lid); idx >= 0 {
+		l.order = append(l.order[:idx], l.order[idx+1:]...)
+	}
+	l.freeLists = append(l.freeLists, lid)
+}
+
+// applyMoveBlocks splices the run [first,last] out of src (whose resolved
+// predecessor of first is srcPred) and inserts it after pred in dst.
+func (l *LLD) applyMoveBlocks(first, last ld.BlockID, src, dst ld.ListID, pred, srcPred ld.BlockID) {
+	srcLi := l.lists[src]
+	dstLi := l.lists[dst]
+	// Count and retag the run.
+	n := 0
+	for b := first; ; b = l.blocks[b].next {
+		l.blocks[b].lid = dst
+		n++
+		if b == last {
+			break
+		}
+	}
+	after := l.blocks[last].next
+	// Detach from src.
+	if srcPred == ld.NilBlock {
+		srcLi.first = after
+	} else {
+		l.blocks[srcPred].next = after
+	}
+	srcLi.count -= n
+	srcLi.curBlk = ld.NilBlock
+	dstLi.curBlk = ld.NilBlock
+	// Attach to dst.
+	if pred == ld.NilBlock {
+		l.blocks[last].next = dstLi.first
+		dstLi.first = first
+	} else {
+		l.blocks[last].next = l.blocks[pred].next
+		l.blocks[pred].next = first
+	}
+	dstLi.count += n
+}
+
+// applyMoveList repositions lid after newPred in the list of lists.
+func (l *LLD) applyMoveList(lid, newPred ld.ListID) {
+	if idx := l.orderIndex(lid); idx >= 0 {
+		l.order = append(l.order[:idx], l.order[idx+1:]...)
+	}
+	idx := 0
+	if newPred != ld.NilList {
+		idx = l.orderIndex(newPred) + 1
+	}
+	l.order = append(l.order, 0)
+	copy(l.order[idx+1:], l.order[idx:])
+	l.order[idx] = lid
+}
+
+// applySwap exchanges the physical contents of two blocks.
+func (l *LLD) applySwap(a, b ld.BlockID) {
+	ai, bi := &l.blocks[a], &l.blocks[b]
+	ai.seg, bi.seg = bi.seg, ai.seg
+	ai.off, bi.off = bi.off, ai.off
+	ai.stored, bi.stored = bi.stored, ai.stored
+	ai.orig, bi.orig = bi.orig, ai.orig
+	ac := ai.flags & (bHasData | bComp)
+	bc := bi.flags & (bHasData | bComp)
+	ai.flags = ai.flags&^(bHasData|bComp) | bc
+	bi.flags = bi.flags&^(bHasData|bComp) | ac
+}
+
+// orderIndex returns lid's position in the list of lists, or -1.
+func (l *LLD) orderIndex(lid ld.ListID) int {
+	for i, v := range l.order {
+		if v == lid {
+			return i
+		}
+	}
+	return -1
+}
+
+// findPred resolves the predecessor of bid in list lid, preferring the
+// caller's hint (paper §2.2: a correct hint removes the block with one
+// pointer update; otherwise LD searches from the beginning of the list).
+func (l *LLD) findPred(bid ld.BlockID, lid ld.ListID, hint ld.BlockID) (ld.BlockID, error) {
+	li := l.lists[lid]
+	if li == nil {
+		return ld.NilBlock, fmt.Errorf("%w: %d", ld.ErrBadList, lid)
+	}
+	if li.first == bid {
+		return ld.NilBlock, nil
+	}
+	if hint != ld.NilBlock && int(hint) < len(l.blocks) {
+		hi := &l.blocks[hint]
+		if hi.allocated() && hi.lid == lid && hi.next == bid {
+			l.stats.HintHits++
+			return hint, nil
+		}
+		l.stats.HintMisses++
+	}
+	for b := li.first; b != ld.NilBlock; b = l.blocks[b].next {
+		if l.blocks[b].next == bid {
+			return b, nil
+		}
+	}
+	return ld.NilBlock, fmt.Errorf("%w: block %d not on list %d", ld.ErrNotInList, bid, lid)
+}
+
+// validateRun checks that [first,last] is a run inside list lid and
+// returns its length.
+func (l *LLD) validateRun(first, last ld.BlockID, lid ld.ListID) (int, error) {
+	li := l.lists[lid]
+	n := 0
+	for b := first; b != ld.NilBlock; b = l.blocks[b].next {
+		if !l.blocks[b].allocated() || l.blocks[b].lid != lid {
+			return 0, fmt.Errorf("%w: run member %d not on list %d", ld.ErrNotInList, b, lid)
+		}
+		n++
+		if n > li.count {
+			break
+		}
+		if b == last {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: [%d,%d] is not a run of list %d", ld.ErrNotInList, first, last, lid)
+}

@@ -1,0 +1,387 @@
+package lld
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// block flags in the in-memory block-number map.
+const (
+	bAllocated = 1 << 0
+	bHasData   = 1 << 1
+	bComp      = 1 << 2
+)
+
+// blockInfo is one entry of the in-memory block-number map (Figure 2 of the
+// paper): the physical address, the successor in the block's list, the
+// length, and whether the contents are compressed. We additionally keep the
+// owning list (used by the cleaner for clustering) and per-field record
+// timestamps (used by the cleaner to decide which facts it must re-log
+// before a summary is destroyed).
+type blockInfo struct {
+	seg    int32 // segment holding the data; -1 if none
+	off    uint32
+	stored uint32 // bytes stored on disk (post-compression)
+	orig   uint32 // logical size
+	next   ld.BlockID
+	lid    ld.ListID
+	flags  uint8
+
+	// Per-field record timestamps: the ts of the newest logged record that
+	// determines each aspect of this block. The cleaner compares them with
+	// the records in a victim's summary to decide which facts it must
+	// re-log before the summary is destroyed.
+	existTS uint64 // allocation / owning list
+	linkTS  uint64 // successor pointer
+	dataTS  uint64 // data location
+}
+
+func (b *blockInfo) allocated() bool { return b.flags&bAllocated != 0 }
+func (b *blockInfo) hasData() bool   { return b.flags&bHasData != 0 }
+
+// listInfo is one entry of the in-memory list table: the first block of the
+// list (Figure 2), plus the paper's per-list hints and a census count.
+type listInfo struct {
+	first ld.BlockID
+	count int
+	hints ld.ListHints
+
+	// Per-field record timestamps, as for blockInfo.
+	existTS uint64 // list existence and hints
+	headTS  uint64 // first-block pointer
+	orderTS uint64 // position in the list of lists
+
+	// cursor memoizes the last ListIndex lookup so offset addressing
+	// (paper §5.4) costs O(1) for sequential access instead of O(n).
+	// Invalidated (curBlk = NilBlock) by any structural change.
+	curIdx int
+	curBlk ld.BlockID
+}
+
+// segment states for the segment usage table.
+const (
+	segFree uint8 = iota
+	segLive
+	segOpen
+	segCooling // freed, but not reusable until the next durable write
+)
+
+// segInfo is one entry of the segment usage table: the number of live bytes
+// (paper §3) plus the newest write timestamp, used by the cost-benefit
+// cleaning policy.
+type segInfo struct {
+	live  int64
+	ts    uint64
+	state uint8
+}
+
+// openSegment is the segment currently being filled in main memory.
+type openSegment struct {
+	id        int
+	buf       []byte
+	dataOff   int
+	entries   []blockEntry
+	tuples    []tupleRec
+	sumSize   int // encoded summary size so far
+	dirty     bool
+	durableTS uint64 // records at or below this ts reached disk (partial write)
+	slot      int    // summary slot the next durable write targets (ping-pong)
+}
+
+// Stats counts LLD-level events since Open (or ResetStats).
+type Stats struct {
+	SegmentsSealed int64 // full segments written
+	PartialWrites  int64 // partial segment writes due to Flush (§3.2)
+	NVRAMFlushes   int64 // flushes absorbed by modeled NVRAM (§5.3)
+	CleanCompress  int64 // blocks compressed by the cleaner (§3.3)
+
+	UserBytesWritten int64
+	UserBytesRead    int64
+	BlocksWritten    int64
+	BlocksRead       int64
+
+	CompressedBlocks int64
+	CompressInBytes  int64
+	CompressOutBytes int64
+
+	CleanerRuns     int64
+	SegmentsCleaned int64
+	BlocksMoved     int64
+	SnapshotTuples  int64 // facts re-logged by the cleaner
+
+	HintHits   int64
+	HintMisses int64
+
+	Flushes        int64
+	ARUs           int64
+	Consolidations int64 // consolidation checkpoints written by the cleaner
+
+	RecoverySweepSegments int64 // summaries read by the last sweep
+	RecoveryAnomalies     int64 // defensive-replay oddities
+	RecoveryDiscards      int64 // incomplete-ARU records discarded by the sweep
+}
+
+// LLD is a log-structured Logical Disk. It implements ld.Disk.
+type LLD struct {
+	mu   sync.Mutex
+	dsk  *disk.Disk
+	opts Options
+	lay  layout
+	shut bool
+
+	ts uint64 // last issued timestamp (monotone operation counter)
+
+	blocks    []blockInfo // indexed by BlockID; entry 0 unused
+	freeIDs   []ld.BlockID
+	nextFresh ld.BlockID // smallest never-allocated id
+
+	lists     map[ld.ListID]*listInfo
+	order     []ld.ListID // the list of lists
+	nextList  ld.ListID
+	freeLists []ld.ListID
+	deadLists map[ld.ListID]uint64 // deleted list -> ts of its newest tombstone record
+
+	segs       []segInfo
+	freeSegs   []int
+	cooling    []int // reusable after the next durable segment write
+	pendingARU []int // freed during an open ARU; cool after EndARU
+
+	cur     *openSegment
+	aruOpen bool
+
+	liveBytes     int64
+	reservedBytes int64
+
+	cleaning    bool
+	lastSealDur time.Duration
+	compressCPU time.Duration
+
+	// Consolidation-checkpoint state: records with ts <= ckptTS are covered
+	// by the newest on-disk checkpoint and may be dropped by the cleaner.
+	ckptTS   uint64
+	ckptSlot int
+	futility int // consecutive cleanings with no net free-space gain
+
+	// Pending abort fence: set by recoverSweep when it discards an
+	// incomplete ARU, emitted by Open as the boot's first record.
+	fenceLo, fenceHi uint64
+
+	stats    Stats
+	scratch  []byte
+	cleanBuf []byte // reusable victim image for the cleaner
+	segBuf   []byte // reusable fill buffer for the open segment
+}
+
+// compile-time interface check.
+var _ ld.Disk = (*LLD)(nil)
+
+// Format initializes an LLD layout on the disk: superblock, empty
+// checkpoint slots, and invalidated segment summaries. Any previous
+// contents are irrecoverable afterwards.
+func Format(dsk *disk.Disk, opts Options) error {
+	lay, err := computeLayout(dsk.Capacity(), dsk.SectorSize(), opts)
+	if err != nil {
+		return err
+	}
+	ss := dsk.SectorSize()
+	sector := make([]byte, ss)
+	copy(sector, encodeSuper(lay))
+	if err := dsk.WriteAt(sector, 0); err != nil {
+		return err
+	}
+	// Invalidate both checkpoint slots.
+	zero := make([]byte, ss)
+	for slot := 0; slot < 2; slot++ {
+		if err := dsk.WriteAt(zero, lay.checkpointOff+int64(slot)*lay.checkpointSize); err != nil {
+			return err
+		}
+	}
+	// Invalidate both summary slots of every segment so stale metadata
+	// from a previous format cannot be resurrected by recovery.
+	for i := 0; i < lay.nSegments; i++ {
+		for slot := 0; slot < 2; slot++ {
+			if err := dsk.WriteAt(zero, lay.sumOff(i, slot)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Open attaches to a formatted disk. Geometry comes from the superblock;
+// runtime policy (threshold, cleaner watermarks, compression model) comes
+// from opts. If a valid clean-shutdown checkpoint exists it is loaded and
+// invalidated; otherwise the state is rebuilt by the one-sweep recovery of
+// paper §3.6.
+func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
+	sector := make([]byte, dsk.SectorSize())
+	if err := dsk.ReadAt(sector, 0); err != nil {
+		return nil, err
+	}
+	lay, err := decodeSuper(sector)
+	if err != nil {
+		return nil, err
+	}
+	if lay.sectorSize != dsk.SectorSize() {
+		return nil, fmt.Errorf("%w: superblock sector size %d != disk %d", ErrFormat, lay.sectorSize, dsk.SectorSize())
+	}
+	// Runtime knobs keep their configured values; geometry is on-disk truth.
+	opts.SegmentSize = lay.segmentSize
+	opts.SummarySize = lay.summarySize
+	opts.MaxBlockSize = lay.maxBlockSize
+	opts.MaxBlocks = lay.maxBlocks
+	if err := opts.validate(lay.sectorSize); err != nil {
+		return nil, err
+	}
+
+	l := &LLD{
+		dsk:       dsk,
+		opts:      opts,
+		lay:       lay,
+		blocks:    make([]blockInfo, lay.maxBlocks+1),
+		nextFresh: 1,
+		lists:     make(map[ld.ListID]*listInfo),
+		deadLists: make(map[ld.ListID]uint64),
+		nextList:  1,
+		segs:      make([]segInfo, lay.nSegments),
+		scratch:   make([]byte, lay.segmentSize+lay.sectorSize),
+	}
+	for i := range l.blocks {
+		l.blocks[i].seg = -1
+	}
+
+	found, complete, err := l.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !found:
+		if err := l.recoverSweep(0, false); err != nil {
+			return nil, err
+		}
+	case !complete:
+		// Consolidation checkpoint: it is a floor, not the full story —
+		// sweep the summaries and replay everything newer.
+		if err := l.recoverSweep(l.ckptTS, true); err != nil {
+			return nil, err
+		}
+	}
+	l.rebuildFreeSegments()
+	if l.fenceHi != 0 {
+		// The sweep discarded an incomplete atomic recovery unit whose
+		// records remain readable in sealed summaries. Make the dead window
+		// permanent before any new record could resurrect it. Open a fresh
+		// segment directly when one is free so no cleaner-emitted committed
+		// tuple can seal ahead of the fence.
+		if l.cur == nil && len(l.freeSegs) > 0 {
+			if err := l.openNewSegment(); err != nil {
+				return nil, err
+			}
+		}
+		if err := l.ensureRoom(0, tupleSpace(tFence)); err != nil {
+			return nil, err
+		}
+		l.emitTuple(tFence,
+			uint32(l.fenceLo), uint32(l.fenceLo>>32),
+			uint32(l.fenceHi), uint32(l.fenceHi>>32))
+		l.fenceLo, l.fenceHi = 0, 0
+	}
+	return l, nil
+}
+
+// rebuildFreeSegments derives the free-segment pool from the usage table.
+func (l *LLD) rebuildFreeSegments() {
+	l.freeSegs = l.freeSegs[:0]
+	// Allocate low-numbered segments first for deterministic layouts.
+	for i := l.lay.nSegments - 1; i >= 0; i-- {
+		if l.segs[i].state == segFree {
+			l.freeSegs = append(l.freeSegs, i)
+		}
+	}
+}
+
+// nextTS issues the next operation timestamp.
+func (l *LLD) nextTS() uint64 {
+	l.ts++
+	return l.ts
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (l *LLD) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the statistics counters.
+func (l *LLD) ResetStats() {
+	l.mu.Lock()
+	l.stats = Stats{}
+	l.mu.Unlock()
+}
+
+// Layout reporting, used by tools and benchmarks.
+
+// SegmentCount returns the number of segments on the disk.
+func (l *LLD) SegmentCount() int { return l.lay.nSegments }
+
+// SegmentSize returns the segment size in bytes.
+func (l *LLD) SegmentSize() int { return l.lay.segmentSize }
+
+// MaxBlockSize implements ld.Disk.
+func (l *LLD) MaxBlockSize() int { return l.lay.maxBlockSize }
+
+// MaxBlocks returns the size of the logical block address space.
+func (l *LLD) MaxBlocks() int { return l.lay.maxBlocks }
+
+// FreeSegments returns the number of immediately allocatable segments.
+func (l *LLD) FreeSegments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.freeSegs)
+}
+
+// LiveBytes returns the total live user bytes currently stored.
+func (l *LLD) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.liveBytes
+}
+
+// UsableBytes returns the data capacity subject to the utilization limit.
+func (l *LLD) UsableBytes() int64 {
+	return int64(float64(l.lay.usableBytes()) * l.opts.UtilizationLimit)
+}
+
+// checkOpen reports ErrShutdown after Shutdown. Callers hold l.mu.
+func (l *LLD) checkOpen() error {
+	if l.shut {
+		return ld.ErrShutdown
+	}
+	return nil
+}
+
+// blockAt validates and returns the map entry for b. Callers hold l.mu.
+func (l *LLD) blockAt(b ld.BlockID) (*blockInfo, error) {
+	if b == ld.NilBlock || int(b) >= len(l.blocks) {
+		return nil, fmt.Errorf("%w: %d", ld.ErrBadBlock, b)
+	}
+	bi := &l.blocks[b]
+	if !bi.allocated() {
+		return nil, fmt.Errorf("%w: %d not allocated", ld.ErrBadBlock, b)
+	}
+	return bi, nil
+}
+
+// listAt validates and returns the list table entry for lid. Callers hold l.mu.
+func (l *LLD) listAt(lid ld.ListID) (*listInfo, error) {
+	li, ok := l.lists[lid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ld.ErrBadList, lid)
+	}
+	return li, nil
+}

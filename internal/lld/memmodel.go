@@ -1,0 +1,133 @@
+package lld
+
+// Memory and disk-space model of paper §3.4 (Tables 2 and 3). The model
+// uses the paper's own byte accounting — 3-byte physical addresses, 3-byte
+// successors, and so on — so it reproduces the published numbers exactly;
+// it deliberately does not measure Go struct sizes, which say nothing about
+// the design.
+
+// MemoryModel computes the main-memory requirements of LLD's data
+// structures for a given configuration, in bytes.
+type MemoryModel struct {
+	DiskBytes        int64   // physical disk space covered
+	AvgBlockSize     int     // average logical block size (paper: 4 KB)
+	SegmentSize      int     // paper: 512 KB
+	Compression      bool    // whether compression support is configured
+	CompressionRatio float64 // output/input, paper: 0.60
+	BlocksPerList    int     // blocks per list; 0 means one list for everything
+}
+
+// paper §3.4 byte costs.
+const (
+	bytesPerAddr          = 3 // physical block address
+	bytesPerSucc          = 3 // successor block number
+	bytesPerCompLen       = 2 // stored length under compression
+	bytesPerCompAddrExtra = 1 // extra address byte under compression
+	bytesPerListEntry     = 4 // list table entry
+	bytesPerSegUsage      = 3 // segment usage table entry
+)
+
+// Blocks returns the number of logical blocks the block-number map covers.
+// With compression more blocks fit on the same disk (paper: 67% more at a
+// 60% ratio).
+func (m MemoryModel) Blocks() int64 {
+	n := m.DiskBytes / int64(m.AvgBlockSize)
+	if m.Compression && m.CompressionRatio > 0 {
+		n = int64(float64(n) / m.CompressionRatio)
+	}
+	return n
+}
+
+// BlockMapBytes returns the size of the block-number map. Without
+// compression each entry is 3 bytes of physical address plus 3 bytes of
+// successor; compression adds 2 bytes of length and 1 more address byte.
+func (m MemoryModel) BlockMapBytes() int64 {
+	per := int64(bytesPerAddr + bytesPerSucc)
+	if m.Compression {
+		per += bytesPerCompLen + bytesPerCompAddrExtra
+	}
+	return m.Blocks() * per
+}
+
+// ListTableBytes returns the size of the list table: 4 bytes per list.
+func (m MemoryModel) ListTableBytes() int64 {
+	if m.BlocksPerList <= 0 {
+		return bytesPerListEntry // a single list for the whole file system
+	}
+	lists := m.Blocks() / int64(m.BlocksPerList)
+	if lists < 1 {
+		lists = 1
+	}
+	return lists * bytesPerListEntry
+}
+
+// SegmentUsageBytes returns the size of the segment usage table: 3 bytes
+// per segment.
+func (m MemoryModel) SegmentUsageBytes() int64 {
+	segs := m.DiskBytes / int64(m.SegmentSize)
+	if segs < 1 {
+		segs = 1
+	}
+	return segs * bytesPerSegUsage
+}
+
+// TotalBytes returns the total main memory required.
+func (m MemoryModel) TotalBytes() int64 {
+	return m.BlockMapBytes() + m.ListTableBytes() + m.SegmentUsageBytes()
+}
+
+// EffectiveStorageBytes returns the user-visible capacity: with compression
+// the file system gets DiskBytes/ratio of actual storage (paper: a 1-GB
+// disk stores 1.7 GB at a 60% ratio).
+func (m MemoryModel) EffectiveStorageBytes() int64 {
+	if m.Compression && m.CompressionRatio > 0 {
+		return int64(float64(m.DiskBytes) / m.CompressionRatio)
+	}
+	return m.DiskBytes
+}
+
+// CostModel reproduces Table 3: the price of LLD's main memory as a
+// percentage of the disk price.
+type CostModel struct {
+	RAMDollarsPerMB  float64 // paper: $30 and $50
+	DiskDollarsPerGB float64 // paper: $750 and $1500
+}
+
+// OverheadPercent returns the added cost percentage for a configuration
+// needing memBytes of RAM per diskBytes of disk.
+func (c CostModel) OverheadPercent(memBytes, diskBytes int64) float64 {
+	ramCost := float64(memBytes) / (1 << 20) * c.RAMDollarsPerMB
+	diskCost := float64(diskBytes) / (1 << 30) * c.DiskDollarsPerGB
+	if diskCost == 0 {
+		return 0
+	}
+	return 100 * ramCost / diskCost
+}
+
+// SummaryModel reproduces the disk-space accounting of §3.4: bytes of
+// segment summary per physical block and per link tuple.
+type SummaryModel struct {
+	Compression bool
+}
+
+// BytesPerBlock returns the summary bytes per physical block: 3 for the
+// logical number and 4 for the timestamp, plus 3 more with compression.
+func (s SummaryModel) BytesPerBlock() int {
+	if s.Compression {
+		return 10
+	}
+	return 7
+}
+
+// BytesPerLinkTuple returns the summary bytes per link tuple (paper: 12).
+func (s SummaryModel) BytesPerLinkTuple() int { return 12 }
+
+// TuplesFitting returns how many link tuples fit in a summary of sumBytes
+// alongside nBlocks block entries.
+func (s SummaryModel) TuplesFitting(sumBytes, nBlocks int) int {
+	rest := sumBytes - nBlocks*s.BytesPerBlock()
+	if rest < 0 {
+		return 0
+	}
+	return rest / s.BytesPerLinkTuple()
+}

@@ -1,0 +1,728 @@
+package lld
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/ld"
+)
+
+// Read implements ld.Disk. It returns the number of bytes copied into buf.
+func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return 0, err
+	}
+	bi, err := l.blockAt(b)
+	if err != nil {
+		return 0, err
+	}
+	if !bi.hasData() {
+		return 0, nil
+	}
+	stored, err := l.readStored(bi)
+	if err != nil {
+		return 0, err
+	}
+	l.stats.BlocksRead++
+	if bi.flags&bComp != 0 {
+		out, err := compress.Decompress(make([]byte, 0, bi.orig), stored, int(bi.orig))
+		if err != nil {
+			return 0, fmt.Errorf("lld: block %d: %w", b, err)
+		}
+		l.dsk.AdvanceIdle(l.opts.compressDelay(int(bi.orig)))
+		n := copy(buf, out)
+		l.stats.UserBytesRead += int64(n)
+		return n, nil
+	}
+	n := copy(buf, stored)
+	l.stats.UserBytesRead += int64(n)
+	return n, nil
+}
+
+// Write implements ld.Disk. The block's data is copied into the segment in
+// main memory; the segment is written to disk in a single operation when
+// full (paper §3.1).
+func (l *LLD) Write(b ld.BlockID, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	bi, err := l.blockAt(b)
+	if err != nil {
+		return err
+	}
+	if len(data) > l.lay.maxBlockSize {
+		return fmt.Errorf("%w: %d > %d", ld.ErrTooLarge, len(data), l.lay.maxBlockSize)
+	}
+
+	store := data
+	compressed := false
+	if li := l.lists[bi.lid]; li != nil && li.hints.Compress && len(data) >= 64 && !l.opts.CompressOnClean {
+		c := compress.Compress(make([]byte, 0, len(data)), data)
+		l.compressCPU += l.opts.compressDelay(len(data))
+		l.stats.CompressInBytes += int64(len(data))
+		if len(c) < len(data) {
+			store = c
+			compressed = true
+			l.stats.CompressedBlocks++
+		}
+		l.stats.CompressOutBytes += int64(len(store))
+	}
+
+	old := int64(0)
+	if bi.hasData() {
+		old = int64(bi.stored)
+	}
+	if err := l.chargeSpace(int64(len(store)) - old); err != nil {
+		return err
+	}
+	if err := l.ensureRoom(len(store), blockEntryEncSize); err != nil {
+		return err
+	}
+	// The map entry may have been invalidated by pointer if cleaning
+	// resized nothing (blocks slice is stable), but re-fetch for clarity.
+	bi = &l.blocks[b]
+	off := l.appendData(store)
+	flags := uint8(0)
+	if compressed {
+		flags |= entryCompressed
+	}
+	if !l.aruOpen {
+		flags |= entryCommitted
+	}
+	l.addEntry(blockEntry{
+		bid:    b,
+		ts:     l.nextTS(),
+		off:    uint32(off),
+		stored: uint32(len(store)),
+		orig:   uint32(len(data)),
+		flags:  flags,
+	})
+	l.applySetData(b, l.cur.id, off, len(store), len(data), compressed)
+	l.stats.BlocksWritten++
+	l.stats.UserBytesWritten += int64(len(data))
+	return nil
+}
+
+// chargeSpace enforces the utilization limit, consuming reservation when a
+// write would otherwise be refused (paper §2.2: reservations exist so that
+// writes cannot fail for lack of space). Callers hold l.mu.
+func (l *LLD) chargeSpace(delta int64) error {
+	if delta <= 0 {
+		return nil
+	}
+	avail := l.UsableBytes() - l.liveBytes
+	if delta <= avail-l.reservedBytes {
+		return nil
+	}
+	if delta <= avail {
+		l.reservedBytes = avail - delta
+		return nil
+	}
+	return fmt.Errorf("%w: need %d bytes, %d available", ld.ErrNoSpace, delta, avail)
+}
+
+// NewBlock implements ld.Disk.
+func (l *LLD) NewBlock(lid ld.ListID, pred ld.BlockID) (ld.BlockID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return ld.NilBlock, err
+	}
+	if _, err := l.listAt(lid); err != nil {
+		return ld.NilBlock, err
+	}
+	if pred != ld.NilBlock {
+		pi, err := l.blockAt(pred)
+		if err != nil {
+			return ld.NilBlock, err
+		}
+		if pi.lid != lid {
+			return ld.NilBlock, fmt.Errorf("%w: predecessor %d not on list %d", ld.ErrNotInList, pred, lid)
+		}
+	}
+	var bid ld.BlockID
+	switch {
+	case len(l.freeIDs) > 0:
+		bid = l.freeIDs[len(l.freeIDs)-1]
+		l.freeIDs = l.freeIDs[:len(l.freeIDs)-1]
+	case int(l.nextFresh) <= l.lay.maxBlocks:
+		bid = l.nextFresh
+		l.nextFresh++
+	default:
+		return ld.NilBlock, fmt.Errorf("%w: out of logical block numbers", ld.ErrNoSpace)
+	}
+	if err := l.ensureRoom(0, tupleSpace(tAlloc)); err != nil {
+		// Roll the number back.
+		if bid == l.nextFresh-1 {
+			l.nextFresh--
+		} else {
+			l.freeIDs = append(l.freeIDs, bid)
+		}
+		return ld.NilBlock, err
+	}
+	l.applyAlloc(bid, lid, pred)
+	var head uint32
+	if pred == ld.NilBlock {
+		head = 1
+	}
+	l.emitTuple(tAlloc, uint32(bid), uint32(lid), uint32(l.blocks[bid].next), uint32(pred), head)
+	return bid, nil
+}
+
+// DeleteBlock implements ld.Disk.
+func (l *LLD) DeleteBlock(b ld.BlockID, lid ld.ListID, predHint ld.BlockID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	bi, err := l.blockAt(b)
+	if err != nil {
+		return err
+	}
+	if _, err := l.listAt(lid); err != nil {
+		return err
+	}
+	if bi.lid != lid {
+		return fmt.Errorf("%w: block %d is on list %d, not %d", ld.ErrNotInList, b, bi.lid, lid)
+	}
+	pred, err := l.findPred(b, lid, predHint)
+	if err != nil {
+		return err
+	}
+	if err := l.ensureRoom(0, tupleSpace(tFree)); err != nil {
+		return err
+	}
+	succ := bi.next
+	var head uint32
+	if pred == ld.NilBlock {
+		head = 1
+	}
+	l.applyFree(b, lid, pred)
+	l.emitTuple(tFree, uint32(b), uint32(lid), uint32(pred), uint32(succ), head)
+	return nil
+}
+
+// NewList implements ld.Disk.
+func (l *LLD) NewList(predList ld.ListID, hints ld.ListHints) (ld.ListID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return ld.NilList, err
+	}
+	if predList != ld.NilList {
+		if _, err := l.listAt(predList); err != nil {
+			return ld.NilList, err
+		}
+	}
+	var lid ld.ListID
+	if len(l.freeLists) > 0 {
+		lid = l.freeLists[len(l.freeLists)-1]
+		l.freeLists = l.freeLists[:len(l.freeLists)-1]
+	} else {
+		lid = l.nextList
+		l.nextList++
+	}
+	if err := l.ensureRoom(0, tupleSpace(tNewList)); err != nil {
+		l.freeLists = append(l.freeLists, lid)
+		return ld.NilList, err
+	}
+	l.applyNewList(lid, predList, hints)
+	l.emitTuple(tNewList, uint32(lid), uint32(predList), encodeHints(hints))
+	return lid, nil
+}
+
+// DeleteList implements ld.Disk. All blocks remaining on the list are freed.
+func (l *LLD) DeleteList(lid ld.ListID, predHint ld.ListID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := l.listAt(lid); err != nil {
+		return err
+	}
+	// The predecessor hint only models search cost; the order slice makes
+	// removal positionless. Count hint accuracy for the statistics.
+	if idx := l.orderIndex(lid); idx > 0 && l.order[idx-1] == predHint {
+		l.stats.HintHits++
+	} else if predHint != ld.NilList {
+		l.stats.HintMisses++
+	}
+	// Free the blocks one by one with individual tFree tuples. The
+	// per-block records matter for recovery: a block's free-ness must be
+	// re-derivable (and re-loggable by the cleaner) per block, which an
+	// implied mass-free inside tDelList would not allow.
+	li := l.lists[lid]
+	for li.first != ld.NilBlock {
+		b := li.first
+		if err := l.ensureRoom(0, tupleSpace(tFree)); err != nil {
+			return err
+		}
+		succ := l.blocks[b].next
+		l.applyFree(b, lid, ld.NilBlock)
+		l.emitTuple(tFree, uint32(b), uint32(lid), 0, uint32(succ), 1)
+	}
+	if err := l.ensureRoom(0, tupleSpace(tDelList)); err != nil {
+		return err
+	}
+	l.applyDelList(lid)
+	l.emitTuple(tDelList, uint32(lid))
+	return nil
+}
+
+// MoveBlocks implements ld.Disk.
+func (l *LLD) MoveBlocks(first, last ld.BlockID, srcList, dstList ld.ListID, pred ld.BlockID, srcPredHint ld.BlockID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := l.listAt(srcList); err != nil {
+		return err
+	}
+	if _, err := l.listAt(dstList); err != nil {
+		return err
+	}
+	if _, err := l.blockAt(first); err != nil {
+		return err
+	}
+	if _, err := l.blockAt(last); err != nil {
+		return err
+	}
+	if _, err := l.validateRun(first, last, srcList); err != nil {
+		return err
+	}
+	if pred != ld.NilBlock {
+		pi, err := l.blockAt(pred)
+		if err != nil {
+			return err
+		}
+		if pi.lid != dstList {
+			return fmt.Errorf("%w: destination predecessor %d not on list %d", ld.ErrNotInList, pred, dstList)
+		}
+		// Moving a run after one of its own members would corrupt the chain.
+		for b := first; ; b = l.blocks[b].next {
+			if b == pred {
+				return fmt.Errorf("%w: destination predecessor %d inside the moved run", ld.ErrNotInList, pred)
+			}
+			if b == last {
+				break
+			}
+		}
+	}
+	srcPred, err := l.findPred(first, srcList, srcPredHint)
+	if err != nil {
+		return err
+	}
+	l.applyMoveBlocks(first, last, srcList, dstList, pred, srcPred)
+	// A move is logged as absolute state snapshots of every field it
+	// changed: the run members' list membership and chaining, the spliced
+	// predecessors (or list heads) on both sides. The snapshots are
+	// grouped into an internal atomic recovery unit so a crash cannot
+	// surface a half-moved run.
+	internal := !l.aruOpen
+	if internal {
+		l.aruOpen = true
+	}
+	emit := func() error {
+		for b := first; b != ld.NilBlock; b = l.blocks[b].next {
+			if err := l.emitBlockSnap(b); err != nil {
+				return err
+			}
+			if b == last {
+				break
+			}
+		}
+		if srcPred != ld.NilBlock {
+			if err := l.emitBlockSnap(srcPred); err != nil {
+				return err
+			}
+		}
+		if err := l.emitListSnap(srcList); err != nil {
+			return err
+		}
+		if pred != ld.NilBlock {
+			if err := l.emitBlockSnap(pred); err != nil {
+				return err
+			}
+		}
+		if err := l.emitListSnap(dstList); err != nil {
+			return err
+		}
+		return nil
+	}
+	err = emit()
+	if internal {
+		if err == nil {
+			err = l.ensureRoom(0, tupleSpace(tCommit))
+		}
+		l.aruOpen = false
+		if err == nil {
+			l.emitTuple(tCommit)
+			l.cooling = append(l.cooling, l.pendingARU...)
+			l.pendingARU = l.pendingARU[:0]
+		}
+	}
+	return err
+}
+
+// MoveList implements ld.Disk.
+func (l *LLD) MoveList(lid ld.ListID, newPred ld.ListID, predHint ld.ListID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := l.listAt(lid); err != nil {
+		return err
+	}
+	if newPred != ld.NilList {
+		if _, err := l.listAt(newPred); err != nil {
+			return err
+		}
+		if newPred == lid {
+			return fmt.Errorf("%w: list %d cannot follow itself", ld.ErrBadList, lid)
+		}
+	}
+	if idx := l.orderIndex(lid); idx > 0 && l.order[idx-1] == predHint {
+		l.stats.HintHits++
+	} else if predHint != ld.NilList {
+		l.stats.HintMisses++
+	}
+	if err := l.ensureRoom(0, tupleSpace(tMoveList)); err != nil {
+		return err
+	}
+	l.applyMoveList(lid, newPred)
+	l.emitTuple(tMoveList, uint32(lid), uint32(newPred))
+	return nil
+}
+
+// FlushList implements ld.Disk: it makes all previous writes to blocks of
+// lid durable, providing an easy fsync (paper §2.2). If the open segment
+// holds nothing related to the list, it is a no-op.
+func (l *LLD) FlushList(lid ld.ListID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := l.listAt(lid); err != nil {
+		return err
+	}
+	if l.cur == nil || !l.segmentTouchesList(lid) {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+// segmentTouchesList reports whether the open segment carries not-yet-
+// durable data or tuples involving list lid. Callers hold l.mu.
+func (l *LLD) segmentTouchesList(lid ld.ListID) bool {
+	for _, e := range l.cur.entries {
+		if e.ts <= l.cur.durableTS {
+			continue
+		}
+		if int(e.bid) < len(l.blocks) && l.blocks[e.bid].lid == lid {
+			return true
+		}
+	}
+	for _, t := range l.cur.tuples {
+		if t.ts <= l.cur.durableTS {
+			continue
+		}
+		switch t.kind {
+		case tAlloc, tFree:
+			if ld.ListID(t.args[1]) == lid {
+				return true
+			}
+		case tNewList, tDelList, tMoveList, tListState:
+			if ld.ListID(t.args[0]) == lid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BeginARU implements ld.Disk. Concurrent ARUs are not supported, matching
+// the paper's prototype interface (§2.2).
+func (l *LLD) BeginARU() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if l.aruOpen {
+		return ld.ErrARUOpen
+	}
+	l.aruOpen = true
+	return nil
+}
+
+// EndARU implements ld.Disk. It logs a commit tuple; during recovery all
+// records of the unit are applied iff a committed record with an equal or
+// later timestamp survives (paper §3.6).
+func (l *LLD) EndARU() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if !l.aruOpen {
+		return ld.ErrNoARU
+	}
+	if err := l.ensureRoom(0, tupleSpace(tCommit)); err != nil {
+		return err
+	}
+	l.aruOpen = false // clear first so the commit tuple is tagged committed
+	l.emitTuple(tCommit)
+	l.stats.ARUs++
+	// Segments freed during the unit may now cool; they become reusable
+	// after the next durable write.
+	l.cooling = append(l.cooling, l.pendingARU...)
+	l.pendingARU = l.pendingARU[:0]
+	return nil
+}
+
+// Flush implements ld.Disk using the paper's partial-segment strategy
+// (§3.2): above the fill threshold the segment is sealed; below it, the
+// current image is written but the segment keeps filling in memory, and
+// the later full write supersedes the partial one in place.
+func (l *LLD) Flush(failures ld.FailureSet) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if failures == ld.FailNone {
+		return nil
+	}
+	return l.flushLocked()
+}
+
+func (l *LLD) flushLocked() error {
+	l.stats.Flushes++
+	cur := l.cur
+	if cur == nil || (!cur.dirty && len(cur.entries) == 0 && len(cur.tuples) == 0) {
+		return nil
+	}
+	fill := float64(cur.dataOff) / float64(l.lay.dataCap())
+	if fill >= l.opts.FlushThreshold {
+		return l.sealSegment()
+	}
+	// NVRAM absorption (§5.3): a small partial segment lands in modeled
+	// battery-backed memory instead of costing a disk operation; the
+	// normal seal supersedes it in place later.
+	if l.opts.NVRAMBytes > 0 && cur.dataOff+cur.sumSize <= l.opts.NVRAMBytes {
+		return l.writePartialNVRAM()
+	}
+	return l.writePartial()
+}
+
+// Reserve implements ld.Disk.
+func (l *LLD) Reserve(n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("lld: negative reservation %d", n)
+	}
+	need := int64(n) * int64(l.lay.maxBlockSize)
+	avail := l.UsableBytes() - l.liveBytes
+	if need > avail-l.reservedBytes {
+		return fmt.Errorf("%w: cannot reserve %d bytes (%d unreserved)", ld.ErrNoSpace, need, avail-l.reservedBytes)
+	}
+	l.reservedBytes += need
+	return nil
+}
+
+// CancelReservation implements ld.Disk.
+func (l *LLD) CancelReservation(n int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("lld: negative reservation %d", n)
+	}
+	l.reservedBytes -= int64(n) * int64(l.lay.maxBlockSize)
+	if l.reservedBytes < 0 {
+		l.reservedBytes = 0
+	}
+	return nil
+}
+
+// ReservedBytes reports the outstanding reservation, for tests and tools.
+func (l *LLD) ReservedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reservedBytes
+}
+
+// SwapContents implements ld.Disk (paper §5.4).
+func (l *LLD) SwapContents(a, b ld.BlockID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := l.blockAt(a); err != nil {
+		return err
+	}
+	if _, err := l.blockAt(b); err != nil {
+		return err
+	}
+	if a == b {
+		return nil
+	}
+	// Reserve room for both data-location records up front so they land in
+	// the same summary (a swap must not be torn across a segment boundary).
+	if err := l.ensureRoom(0, 2*tupleSpace(tDataAt)); err != nil {
+		return err
+	}
+	l.applySwap(a, b)
+	if err := l.emitDataSnap(a); err != nil {
+		return err
+	}
+	return l.emitDataSnap(b)
+}
+
+// ListBlocks implements ld.Disk.
+func (l *LLD) ListBlocks(lid ld.ListID) ([]ld.BlockID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return nil, err
+	}
+	li, err := l.listAt(lid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ld.BlockID, 0, li.count)
+	for b := li.first; b != ld.NilBlock; b = l.blocks[b].next {
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ListIndex implements ld.Disk: offset addressing into a list (paper §5.4).
+func (l *LLD) ListIndex(lid ld.ListID, i int) (ld.BlockID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return ld.NilBlock, err
+	}
+	li, err := l.listAt(lid)
+	if err != nil {
+		return ld.NilBlock, err
+	}
+	if i < 0 || i >= li.count {
+		return ld.NilBlock, fmt.Errorf("%w: index %d out of range (list has %d blocks)", ld.ErrBadBlock, i, li.count)
+	}
+	// Resume from the memoized cursor when it helps; sequential scans and
+	// repeated lookups become O(1) amortized.
+	b := li.first
+	step := i
+	if li.curBlk != ld.NilBlock && li.curIdx <= i {
+		b = li.curBlk
+		step = i - li.curIdx
+	}
+	for ; step > 0; step-- {
+		b = l.blocks[b].next
+	}
+	li.curIdx, li.curBlk = i, b
+	return b, nil
+}
+
+// Lists implements ld.Disk.
+func (l *LLD) Lists() ([]ld.ListID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return nil, err
+	}
+	out := make([]ld.ListID, len(l.order))
+	copy(out, l.order)
+	return out, nil
+}
+
+// ListCount returns the number of blocks on lid, for tests and tools.
+func (l *LLD) ListCount(lid ld.ListID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	li, err := l.listAt(lid)
+	if err != nil {
+		return 0, err
+	}
+	return li.count, nil
+}
+
+// ListHints returns the hints lid was created with.
+func (l *LLD) ListHints(lid ld.ListID) (ld.ListHints, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	li, err := l.listAt(lid)
+	if err != nil {
+		return ld.ListHints{}, err
+	}
+	return li.hints, nil
+}
+
+// BlockSize implements ld.Disk.
+func (l *LLD) BlockSize(b ld.BlockID) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return 0, err
+	}
+	bi, err := l.blockAt(b)
+	if err != nil {
+		return 0, err
+	}
+	return int(bi.orig), nil
+}
+
+// Shutdown implements ld.Disk. A clean shutdown seals the open segment and
+// writes the state to the checkpoint region with a validity marker (paper
+// §3.6); an unclean one discards the in-memory state, simulating a crash of
+// the host (the disk itself is untouched).
+func (l *LLD) Shutdown(clean bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		return err
+	}
+	if !clean {
+		l.shut = true
+		return nil
+	}
+	if l.aruOpen {
+		return ld.ErrARUOpen
+	}
+	if l.cur != nil {
+		if len(l.cur.entries) > 0 || len(l.cur.tuples) > 0 || l.cur.dirty {
+			if err := l.sealSegment(); err != nil {
+				return err
+			}
+		} else {
+			// Return the untouched segment to the pool.
+			l.segs[l.cur.id].state = segFree
+			l.freeSegs = append(l.freeSegs, l.cur.id)
+			l.cur = nil
+		}
+	}
+	l.releaseCooling()
+	if err := l.writeCheckpoint(true); err != nil {
+		return err
+	}
+	l.shut = true
+	return nil
+}

@@ -1,0 +1,559 @@
+package lld
+
+import (
+	"sort"
+
+	"repro/internal/ld"
+)
+
+// One-sweep recovery (paper §3.6): after a failure LLD reads all segment
+// summaries in a single sweep over the disk and rebuilds the block-number
+// map, the list table, and the segment usage table from the records stored
+// therein. No checkpoints are taken during normal operation.
+//
+// Every record is a self-contained set of absolute field assignments
+// (block existence/membership, successor pointer, data location, list
+// existence/head). Replay sorts all surviving records by timestamp and
+// applies them to a plain field store, so each field converges to the value
+// of its newest surviving record — which the cleaner guarantees is the true
+// value, because it restates any fact whose newest record it is about to
+// destroy.
+//
+// Atomic recovery units: a record tagged as not ending an ARU is applied
+// only if some committed record with an equal or later timestamp survives —
+// the paper's rule that an incomplete unit's effects are deferred until its
+// EndARU or a more recently committed operation is encountered, and are
+// discarded if neither exists.
+//
+// Abort fences. The paper's commit rule is sound within one boot, where
+// the authors' log is physically truncated at the crash point. Here the
+// discarded records remain readable in sealed summaries forever, and a
+// later boot's committed records (which necessarily carry higher
+// timestamps) would resurrect them on the next sweep: the dead unit's
+// records would suddenly satisfy "a committed record with a later
+// timestamp exists". To keep discards permanent, a recovery that drops an
+// incomplete unit makes the new boot's first record a tFence declaring
+// the dead window (L, B): L is the lastCommitted of that recovery, B the
+// first timestamp of the new boot. Replay never applies an uncommitted
+// record whose timestamp falls strictly inside a fenced window. The fence
+// is emitted into the open segment before any new operation, so it is
+// durable no later than any record that could resurrect the dead unit.
+
+// recBlock is the field store for one block during replay. The per-field
+// timestamps record each field's winning record, seeding the bookkeeping
+// the cleaner uses to decide what needs re-logging: a field whose winner
+// was replayed from disk needs no snapshot when some older mention of it
+// is cleaned.
+type recBlock struct {
+	exist   bool
+	lid     ld.ListID
+	next    ld.BlockID
+	hasData bool
+	comp    bool
+	seg     int32
+	off     uint32
+	stored  uint32
+	orig    uint32
+	existTS uint64
+	linkTS  uint64
+	dataTS  uint64
+}
+
+// recList is the field store for one list during replay.
+type recList struct {
+	exist   bool
+	first   ld.BlockID
+	hints   ld.ListHints
+	existTS uint64
+	headTS  uint64
+	orderTS uint64
+}
+
+type recState struct {
+	blocks []recBlock
+	lists  map[ld.ListID]*recList
+	order  []ld.ListID
+}
+
+func (rs *recState) list(lid ld.ListID) *recList {
+	li := rs.lists[lid]
+	if li == nil {
+		li = &recList{}
+		rs.lists[lid] = li
+	}
+	return li
+}
+
+func (rs *recState) orderIndex(lid ld.ListID) int {
+	for i, v := range rs.order {
+		if v == lid {
+			return i
+		}
+	}
+	return -1
+}
+
+func (rs *recState) orderRemove(lid ld.ListID) {
+	if i := rs.orderIndex(lid); i >= 0 {
+		rs.order = append(rs.order[:i], rs.order[i+1:]...)
+	}
+}
+
+func (rs *recState) orderInsertAfter(lid, pred ld.ListID) {
+	rs.orderRemove(lid)
+	idx := 0
+	if pred != ld.NilList {
+		if pi := rs.orderIndex(pred); pi >= 0 {
+			idx = pi + 1
+		}
+	}
+	rs.order = append(rs.order, 0)
+	copy(rs.order[idx+1:], rs.order[idx:])
+	rs.order[idx] = lid
+}
+
+// recoverSweep reads all summaries and rebuilds the state. floor is the
+// newest consolidation-checkpoint timestamp: records at or below it are
+// already reflected in the checkpoint-loaded state (seeded=true) and are
+// skipped. With no checkpoint, floor is 0 and the sweep starts empty.
+func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
+	lay := l.lay
+
+	type segRecord struct {
+		si *summaryInfo
+		id int
+	}
+	var summaries []segRecord
+	sum := make([]byte, 2*lay.summarySize)
+	for i := 0; i < lay.nSegments; i++ {
+		if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+			return err
+		}
+		l.stats.RecoverySweepSegments++
+		si, err := decodeNewestSummary(sum, lay, i)
+		if err != nil {
+			// Empty, foreign, or torn summary: without a checkpoint the
+			// segment holds nothing; with one, trust the checkpoint state.
+			if !seeded {
+				l.segs[i] = segInfo{state: segFree}
+			}
+			continue
+		}
+		if si.writeTS <= floor {
+			// Entirely covered by the checkpoint; its state (often free:
+			// the cleaner retired it) comes from the checkpoint.
+			continue
+		}
+		summaries = append(summaries, segRecord{si: si, id: i})
+		l.segs[i] = segInfo{state: segLive, ts: si.writeTS}
+	}
+
+	// Merge every record, find the newest committed timestamp, and replay
+	// in timestamp order.
+	type record struct {
+		ts        uint64
+		committed bool
+		entry     *blockEntry
+		seg       int
+		tuple     *tupleRec
+	}
+	var recs []record
+	maxTS, lastCommitted := floor, floor
+	for _, sr := range summaries {
+		if sr.si.writeTS > maxTS {
+			maxTS = sr.si.writeTS
+		}
+		for j := range sr.si.entries {
+			e := &sr.si.entries[j]
+			if e.ts <= floor {
+				continue // covered by the checkpoint
+			}
+			recs = append(recs, record{ts: e.ts, committed: e.committed(), entry: e, seg: sr.id})
+			if e.committed() && e.ts > lastCommitted {
+				lastCommitted = e.ts
+			}
+			if e.ts > maxTS {
+				maxTS = e.ts
+			}
+		}
+		for j := range sr.si.tuples {
+			t := &sr.si.tuples[j]
+			if t.ts <= floor {
+				continue
+			}
+			recs = append(recs, record{ts: t.ts, committed: t.committed(), tuple: t})
+			if t.committed() && t.ts > lastCommitted {
+				lastCommitted = t.ts
+			}
+			if t.ts > maxTS {
+				maxTS = t.ts
+			}
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ts < recs[j].ts })
+
+	// Collect abort fences before replaying: an uncommitted record inside a
+	// dead window was discarded by an earlier recovery and must stay dead.
+	type window struct{ lo, hi uint64 }
+	var fences []window
+	for _, r := range recs {
+		if r.tuple != nil && r.tuple.kind == tFence {
+			a := r.tuple.args
+			fences = append(fences, window{
+				lo: uint64(a[0]) | uint64(a[1])<<32,
+				hi: uint64(a[2]) | uint64(a[3])<<32,
+			})
+		}
+	}
+	fenced := func(ts uint64) bool {
+		for _, w := range fences {
+			if w.lo < ts && ts < w.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	rs := &recState{
+		blocks: make([]recBlock, len(l.blocks)),
+		lists:  make(map[ld.ListID]*recList),
+	}
+	for i := range rs.blocks {
+		rs.blocks[i].seg = -1
+	}
+	if seeded {
+		// Start from the checkpoint-loaded state.
+		for i := 1; i < len(l.blocks); i++ {
+			bi := &l.blocks[i]
+			if !bi.allocated() {
+				continue
+			}
+			rs.blocks[i] = recBlock{
+				exist:   true,
+				lid:     bi.lid,
+				next:    bi.next,
+				hasData: bi.hasData(),
+				comp:    bi.flags&bComp != 0,
+				seg:     bi.seg,
+				off:     bi.off,
+				stored:  bi.stored,
+				orig:    bi.orig,
+			}
+		}
+		for _, lid := range l.order {
+			li := l.lists[lid]
+			rs.lists[lid] = &recList{exist: true, first: li.first, hints: li.hints}
+			rs.order = append(rs.order, lid)
+		}
+		// Reset the live state; installRecovered rebuilds it from rs.
+		for i := range l.blocks {
+			l.blocks[i] = blockInfo{seg: -1}
+		}
+		l.lists = make(map[ld.ListID]*listInfo)
+		l.order = nil
+		l.liveBytes = 0
+		for i := range l.segs {
+			l.segs[i].live = 0
+		}
+	}
+	discarded := 0
+	for _, r := range recs {
+		if !r.committed {
+			if r.ts > lastCommitted {
+				discarded++ // incomplete atomic recovery unit: discard
+				continue
+			}
+			if fenced(r.ts) {
+				continue // discarded by an earlier recovery: stays dead
+			}
+		}
+		if r.entry != nil {
+			l.replayEntry(rs, r.entry, r.seg)
+		} else {
+			l.replayTuple(rs, r.tuple)
+		}
+	}
+
+	l.installRecovered(rs)
+	// A still-live segment whose data fully died and whose records are all
+	// at or below the checkpoint floor holds nothing recovery needs.
+	for i := range l.segs {
+		si := &l.segs[i]
+		if si.state == segLive && si.live == 0 && si.ts <= floor {
+			si.state = segFree
+		}
+	}
+	l.ts = maxTS + 1
+	if discarded > 0 {
+		// Schedule an abort fence over (lastCommitted, l.ts): the discarded
+		// records all have timestamps in that window. Open emits it as the
+		// new boot's first record.
+		l.stats.RecoveryDiscards += int64(discarded)
+		l.fenceLo, l.fenceHi = lastCommitted, maxTS+1
+	}
+	return nil
+}
+
+// replayEntry installs a block data-location assignment.
+func (l *LLD) replayEntry(rs *recState, e *blockEntry, seg int) {
+	if e.bid == ld.NilBlock || int(e.bid) >= len(rs.blocks) ||
+		int(e.off)+int(e.stored) > l.lay.dataCap() {
+		l.stats.RecoveryAnomalies++
+		return
+	}
+	b := &rs.blocks[e.bid]
+	b.hasData = true
+	b.comp = e.flags&entryCompressed != 0
+	b.seg = int32(seg)
+	b.off = e.off
+	b.stored = e.stored
+	b.orig = e.orig
+	b.dataTS = e.ts
+}
+
+// replayTuple applies one tuple's field assignments, stamping each field
+// it assigns with the record's timestamp (the same bookkeeping noteTuple
+// maintains during normal operation).
+func (l *LLD) replayTuple(rs *recState, t *tupleRec) {
+	badB := func(b uint32) bool { return b == 0 || int(b) >= len(rs.blocks) }
+	clearData := func(b *recBlock) {
+		b.hasData = false
+		b.comp = false
+		b.seg = -1
+		b.off, b.stored, b.orig = 0, 0, 0
+	}
+	setEdge := func(lid uint32, pred uint32, head bool, val ld.BlockID) {
+		if head {
+			li := rs.list(ld.ListID(lid))
+			li.first = val
+			li.headTS = t.ts
+		} else if !badB(pred) {
+			rs.blocks[pred].next = val
+			rs.blocks[pred].linkTS = t.ts
+		}
+	}
+	switch t.kind {
+	case tAlloc:
+		// bid, lid, next, pred, flags(1=head)
+		if badB(t.args[0]) {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b := &rs.blocks[t.args[0]]
+		b.exist = true
+		b.lid = ld.ListID(t.args[1])
+		b.next = ld.BlockID(t.args[2])
+		clearData(b) // a fresh allocation carries no data
+		b.existTS, b.linkTS, b.dataTS = t.ts, t.ts, t.ts
+		setEdge(t.args[1], t.args[3], t.args[4]&1 != 0, ld.BlockID(t.args[0]))
+	case tFree:
+		// bid, lid, pred, succ, flags(1=was head)
+		if badB(t.args[0]) {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b := &rs.blocks[t.args[0]]
+		b.exist = false
+		b.lid = ld.NilList
+		b.next = ld.NilBlock
+		clearData(b)
+		b.existTS, b.linkTS, b.dataTS = t.ts, t.ts, t.ts
+		setEdge(t.args[1], t.args[2], t.args[4]&1 != 0, ld.BlockID(t.args[3]))
+	case tNewList:
+		lid := ld.ListID(t.args[0])
+		if lid == ld.NilList {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		li := rs.list(lid)
+		li.exist = true
+		li.first = ld.NilBlock
+		li.hints = decodeHints(t.args[2])
+		li.existTS, li.headTS, li.orderTS = t.ts, t.ts, t.ts
+		rs.orderInsertAfter(lid, ld.ListID(t.args[1]))
+	case tDelList:
+		lid := ld.ListID(t.args[0])
+		if lid == ld.NilList {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		li := rs.list(lid)
+		li.exist = false
+		li.first = ld.NilBlock
+		li.existTS, li.headTS, li.orderTS = t.ts, t.ts, t.ts
+		rs.orderRemove(lid)
+	case tMoveList:
+		lid := ld.ListID(t.args[0])
+		if lid == ld.NilList {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		rs.list(lid).orderTS = t.ts
+		rs.orderInsertAfter(lid, ld.ListID(t.args[1]))
+	case tCommit:
+		// Pure marker; its effect was computing lastCommitted.
+	case tBlockState:
+		if badB(t.args[0]) {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b := &rs.blocks[t.args[0]]
+		b.exist = true
+		b.next = ld.BlockID(t.args[1])
+		b.lid = ld.ListID(t.args[2])
+		b.existTS, b.linkTS = t.ts, t.ts
+	case tBlockFree:
+		if badB(t.args[0]) {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b := &rs.blocks[t.args[0]]
+		b.exist = false
+		b.lid = ld.NilList
+		b.next = ld.NilBlock
+		clearData(b)
+		b.existTS, b.linkTS, b.dataTS = t.ts, t.ts, t.ts
+	case tListState:
+		lid := ld.ListID(t.args[0])
+		if lid == ld.NilList {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		li := rs.list(lid)
+		li.exist = true
+		li.first = ld.BlockID(t.args[1])
+		li.hints = decodeHints(t.args[3])
+		li.existTS, li.headTS, li.orderTS = t.ts, t.ts, t.ts
+		rs.orderInsertAfter(lid, ld.ListID(t.args[2]))
+	case tDataAt:
+		if badB(t.args[0]) {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b := &rs.blocks[t.args[0]]
+		b.dataTS = t.ts
+		if t.args[1] == 0 {
+			clearData(b)
+			b.dataTS = t.ts
+			return
+		}
+		seg := int(t.args[1]) - 1
+		if seg < 0 || seg >= len(l.segs) || int(t.args[2])+int(t.args[3]) > l.lay.dataCap() {
+			l.stats.RecoveryAnomalies++
+			return
+		}
+		b.hasData = true
+		b.comp = t.args[5]&2 != 0
+		b.seg = int32(seg)
+		b.off = t.args[2]
+		b.stored = t.args[3]
+		b.orig = t.args[4]
+	case tFence:
+		// Its effect (the dead window) was collected before the replay.
+	default:
+		l.stats.RecoveryAnomalies++
+	}
+}
+
+// installRecovered converts the replayed field store into the live state:
+// scrubs orphaned data, rebuilds the maps, usage table, and free pools.
+func (l *LLD) installRecovered(rs *recState) {
+	// Lists first.
+	for _, lid := range rs.order {
+		li := rs.lists[lid]
+		if li == nil || !li.exist {
+			continue
+		}
+		l.lists[lid] = &listInfo{
+			first: li.first, hints: li.hints,
+			existTS: li.existTS, headTS: li.headTS, orderTS: li.orderTS,
+		}
+		l.order = append(l.order, lid)
+	}
+	// Tombstoned lists: remember when each died so the cleaner can tell a
+	// superseded deletion mention from the newest one.
+	for lid, li := range rs.lists {
+		if !li.exist && li.existTS != 0 {
+			l.deadLists[lid] = li.existTS
+		}
+	}
+	// Blocks. Data belonging to a non-existent block is simply dropped.
+	// Freed blocks keep their record timestamps: a mention of a freed
+	// block in a cleaning victim is superseded when a newer record
+	// (typically its tFree) survives elsewhere.
+	maxUsed := ld.BlockID(0)
+	for i := 1; i < len(rs.blocks); i++ {
+		rb := &rs.blocks[i]
+		if !rb.exist {
+			l.blocks[i].existTS = rb.existTS
+			l.blocks[i].linkTS = rb.linkTS
+			l.blocks[i].dataTS = rb.dataTS
+			continue
+		}
+		bi := &l.blocks[i]
+		maxUsed = ld.BlockID(i)
+		bi.flags = bAllocated
+		bi.lid = rb.lid
+		bi.next = rb.next
+		bi.existTS = rb.existTS
+		bi.linkTS = rb.linkTS
+		bi.dataTS = rb.dataTS
+		if rb.hasData {
+			bi.flags |= bHasData
+			if rb.comp {
+				bi.flags |= bComp
+			}
+			bi.seg = rb.seg
+			bi.off = rb.off
+			bi.stored = rb.stored
+			bi.orig = rb.orig
+			if rb.seg >= 0 && int(rb.seg) < len(l.segs) {
+				l.segs[rb.seg].live += int64(rb.stored)
+				l.liveBytes += int64(rb.stored)
+			}
+		}
+	}
+	// Census and chain sanity: count members per list, guarding against
+	// cycles or dangling pointers left by pathological histories.
+	for _, lid := range l.order {
+		li := l.lists[lid]
+		n := 0
+		prev := ld.NilBlock
+		for b := li.first; b != ld.NilBlock; b = l.blocks[b].next {
+			if int(b) >= len(l.blocks) || !l.blocks[b].allocated() || n > len(l.blocks) {
+				// Truncate the chain at the anomaly.
+				if prev == ld.NilBlock {
+					li.first = ld.NilBlock
+				} else {
+					l.blocks[prev].next = ld.NilBlock
+				}
+				l.stats.RecoveryAnomalies++
+				break
+			}
+			n++
+			prev = b
+		}
+		li.count = n
+	}
+	// Free pools.
+	l.nextFresh = maxUsed + 1
+	l.freeIDs = l.freeIDs[:0]
+	for i := ld.BlockID(1); i < l.nextFresh; i++ {
+		if !l.blocks[i].allocated() {
+			l.freeIDs = append(l.freeIDs, i)
+		}
+	}
+	maxList := ld.ListID(0)
+	for lid := range l.lists {
+		if lid > maxList {
+			maxList = lid
+		}
+	}
+	l.nextList = maxList + 1
+	l.freeLists = l.freeLists[:0]
+	for lid := ld.ListID(1); lid < l.nextList; lid++ {
+		if l.lists[lid] == nil {
+			l.freeLists = append(l.freeLists, lid)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package lld
+
+import (
+	"fmt"
+
+	"repro/internal/ld"
+)
+
+// openNewSegment takes a free segment and makes it the fill target.
+// Callers hold l.mu and must have ensured a free segment exists.
+func (l *LLD) openNewSegment() error {
+	if l.cur != nil {
+		return fmt.Errorf("lld: internal: segment already open")
+	}
+	if len(l.freeSegs) == 0 {
+		return fmt.Errorf("%w: no free segments", ld.ErrNoSpace)
+	}
+	id := l.freeSegs[len(l.freeSegs)-1]
+	l.freeSegs = l.freeSegs[:len(l.freeSegs)-1]
+	l.segs[id].state = segOpen
+	l.segs[id].live = 0
+	// Reuse one fill buffer for the lifetime of the LLD: only one segment
+	// is ever open, and sealed images have already reached the disk.
+	// Stale bytes between blocks are never read back (entries bound every
+	// read) so the buffer does not need zeroing.
+	if l.segBuf == nil {
+		l.segBuf = make([]byte, l.lay.segmentSize)
+	}
+	l.cur = &openSegment{
+		id:      id,
+		buf:     l.segBuf,
+		sumSize: summaryHeaderSize,
+	}
+	return nil
+}
+
+// ensureRoom guarantees the open segment can absorb dataLen more data bytes
+// and sumLen more summary bytes, sealing and reopening as needed. Callers
+// hold l.mu.
+func (l *LLD) ensureRoom(dataLen, sumLen int) error {
+	if dataLen > l.lay.dataCap() || summaryHeaderSize+sumLen > l.lay.summarySize {
+		return fmt.Errorf("%w: request larger than a segment", ld.ErrTooLarge)
+	}
+	for {
+		if l.cur != nil {
+			fits := l.cur.dataOff+dataLen <= l.lay.dataCap() &&
+				l.cur.sumSize+sumLen <= l.lay.summarySize
+			if fits {
+				return nil
+			}
+			if err := l.sealSegment(); err != nil {
+				return err
+			}
+		}
+		// The cleaner may itself open (and partially fill) a segment; the
+		// loop re-checks fit instead of assuming a fresh one.
+		if err := l.maybeClean(); err != nil {
+			return err
+		}
+		if l.cur == nil {
+			if err := l.openNewSegment(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// appendData copies data into the open segment and returns its offset.
+// Callers hold l.mu and must have called ensureRoom.
+func (l *LLD) appendData(data []byte) int {
+	off := l.cur.dataOff
+	copy(l.cur.buf[off:], data)
+	l.cur.dataOff += len(data)
+	l.cur.dirty = true
+	return off
+}
+
+// addEntry records a block entry in the open segment's summary.
+func (l *LLD) addEntry(e blockEntry) {
+	l.cur.entries = append(l.cur.entries, e)
+	l.cur.sumSize += blockEntryEncSize
+	l.cur.dirty = true
+	if int(e.bid) < len(l.blocks) {
+		l.blocks[e.bid].dataTS = e.ts
+	}
+}
+
+// emitTuple stamps, tags, and records a tuple in the open segment's summary
+// and updates the recTS bookkeeping for every id the tuple mentions.
+// Callers hold l.mu and must have reserved summary space via ensureRoom.
+func (l *LLD) emitTuple(kind uint8, args ...uint32) uint64 {
+	t := tupleRec{kind: kind, ts: l.nextTS()}
+	if !l.aruOpen {
+		t.flags |= tupleCommitted
+	}
+	copy(t.args[:], args)
+	l.cur.tuples = append(l.cur.tuples, t)
+	l.cur.sumSize += t.encSize()
+	l.cur.dirty = true
+	l.noteTuple(t)
+	return t.ts
+}
+
+// noteTuple records, per field a tuple assigns, that its newest determining
+// record now has this timestamp. The cleaner relies on these to know which
+// facts a victim summary is the last holder of.
+func (l *LLD) noteTuple(t tupleRec) {
+	exist := func(b uint32) {
+		if b != 0 && int(b) < len(l.blocks) {
+			l.blocks[b].existTS = t.ts
+		}
+	}
+	link := func(b uint32) {
+		if b != 0 && int(b) < len(l.blocks) {
+			l.blocks[b].linkTS = t.ts
+		}
+	}
+	data := func(b uint32) {
+		if b != 0 && int(b) < len(l.blocks) {
+			l.blocks[b].dataTS = t.ts
+		}
+	}
+	list := func(lid uint32) *listInfo {
+		if lid == 0 {
+			return nil
+		}
+		return l.lists[ld.ListID(lid)]
+	}
+	switch t.kind {
+	case tAlloc:
+		// Assigns: bid's existence, lid, next, and (pred.next | list head).
+		exist(t.args[0])
+		link(t.args[0])
+		data(t.args[0]) // a fresh allocation has no data
+		if t.args[4]&1 != 0 {
+			if li := list(t.args[1]); li != nil {
+				li.headTS = t.ts
+			}
+		} else {
+			link(t.args[3])
+		}
+	case tFree:
+		// Assigns: bid freed, and (pred.next | list head) = succ.
+		exist(t.args[0])
+		link(t.args[0])
+		data(t.args[0])
+		if t.args[4]&1 != 0 {
+			if li := list(t.args[1]); li != nil {
+				li.headTS = t.ts
+			}
+		} else {
+			link(t.args[2])
+		}
+	case tNewList:
+		if li := list(t.args[0]); li != nil {
+			li.existTS = t.ts
+			li.headTS = t.ts
+			li.orderTS = t.ts
+		}
+		delete(l.deadLists, ld.ListID(t.args[0]))
+	case tDelList:
+		// The list is gone from the table; remember the tombstone's
+		// timestamp so older mentions need no re-logging when cleaned.
+		l.deadLists[ld.ListID(t.args[0])] = t.ts
+	case tMoveList:
+		if li := list(t.args[0]); li != nil {
+			li.orderTS = t.ts
+		}
+	case tBlockState:
+		exist(t.args[0])
+		link(t.args[0])
+	case tBlockFree:
+		exist(t.args[0])
+		link(t.args[0])
+		data(t.args[0])
+	case tListState:
+		if li := list(t.args[0]); li != nil {
+			li.existTS = t.ts
+			li.headTS = t.ts
+			li.orderTS = t.ts
+		}
+		delete(l.deadLists, ld.ListID(t.args[0]))
+	case tDataAt:
+		data(t.args[0])
+	case tFence:
+		// Assigns no entity field; the window lives in the args.
+	}
+}
+
+// emitBlockSnap re-logs the current existence/linkage state of a block.
+// Callers hold l.mu.
+func (l *LLD) emitBlockSnap(bid ld.BlockID) error {
+	bi := &l.blocks[bid]
+	if bi.allocated() {
+		if err := l.ensureRoom(0, tupleSpace(tBlockState)); err != nil {
+			return err
+		}
+		l.emitTuple(tBlockState, uint32(bid), uint32(bi.next), uint32(bi.lid))
+	} else {
+		if err := l.ensureRoom(0, tupleSpace(tBlockFree)); err != nil {
+			return err
+		}
+		l.emitTuple(tBlockFree, uint32(bid))
+	}
+	l.stats.SnapshotTuples++
+	return nil
+}
+
+// emitListSnap re-logs the current state of a list (or its tombstone).
+// Callers hold l.mu.
+func (l *LLD) emitListSnap(lid ld.ListID) error {
+	li, ok := l.lists[lid]
+	if !ok {
+		if err := l.ensureRoom(0, tupleSpace(tDelList)); err != nil {
+			return err
+		}
+		l.emitTuple(tDelList, uint32(lid))
+		l.stats.SnapshotTuples++
+		return nil
+	}
+	pred := ld.NilList
+	if idx := l.orderIndex(lid); idx > 0 {
+		pred = l.order[idx-1]
+	}
+	if err := l.ensureRoom(0, tupleSpace(tListState)); err != nil {
+		return err
+	}
+	l.emitTuple(tListState, uint32(lid), uint32(li.first), uint32(pred), encodeHints(li.hints))
+	l.stats.SnapshotTuples++
+	return nil
+}
+
+// emitDataSnap re-logs the current data location of a block.
+// Callers hold l.mu.
+func (l *LLD) emitDataSnap(bid ld.BlockID) error {
+	bi := &l.blocks[bid]
+	if err := l.ensureRoom(0, tupleSpace(tDataAt)); err != nil {
+		return err
+	}
+	seg := uint32(0)
+	var flags uint32
+	if bi.hasData() {
+		seg = uint32(bi.seg) + 1
+		flags |= 1
+		if bi.flags&bComp != 0 {
+			flags |= 2
+		}
+	}
+	l.emitTuple(tDataAt, uint32(bid), seg, bi.off, bi.stored, bi.orig, flags)
+	l.stats.SnapshotTuples++
+	return nil
+}
+
+// tupleSpace returns the summary bytes needed for a tuple of the given kind.
+func tupleSpace(kind uint8) int { return tupleFixedSize + 4*tupleArgc[kind] }
+
+// sealSegment writes the open segment to disk as a full segment in one disk
+// operation (paper §3) and retires it. Callers hold l.mu.
+func (l *LLD) sealSegment() error {
+	cur := l.cur
+	if cur == nil {
+		return nil
+	}
+	writeTS := l.nextTS()
+	if err := encodeSummary(cur.buf, l.lay, cur.id, writeTS, true, cur.dataOff, cur.entries, cur.tuples); err != nil {
+		return err
+	}
+	start := l.dsk.Now()
+	// A mostly-full segment is written as one long contiguous operation
+	// (the paper's normal case) when the target summary slot directly
+	// follows the data area. A mostly-empty one (tuple-heavy phases:
+	// deletes, list maintenance), or a seal whose ping-pong target is the
+	// second slot, skips the dead middle and writes the data prefix and
+	// the summary slot separately. Either way the slot holding the newest
+	// acknowledged partial image is never overwritten, so a torn seal
+	// falls back to it.
+	ss := l.lay.sectorSize
+	dataBytes := (cur.dataOff + ss - 1) / ss * ss
+	sum := cur.buf[l.lay.dataCap() : l.lay.dataCap()+l.lay.summarySize]
+	if dataBytes >= l.lay.dataCap()/2 && cur.slot == 0 {
+		if err := l.dsk.WriteAt(cur.buf[:l.lay.dataCap()+l.lay.summarySize], l.lay.segOff(cur.id)); err != nil {
+			return err
+		}
+	} else {
+		if dataBytes > 0 {
+			if err := l.dsk.WriteAt(cur.buf[:dataBytes], l.lay.segOff(cur.id)); err != nil {
+				return err
+			}
+		}
+		if err := l.dsk.WriteAt(sum, l.lay.sumOff(cur.id, cur.slot)); err != nil {
+			return err
+		}
+	}
+	l.lastSealDur = l.dsk.Now() - start
+	l.chargeCompression()
+
+	l.segs[cur.id].state = segLive
+	l.segs[cur.id].ts = writeTS
+	l.cur = nil
+	l.stats.SegmentsSealed++
+	l.releaseCooling()
+	return nil
+}
+
+// writePartial implements the paper's partial-segment strategy (§3.2): the
+// current contents (data prefix plus summary) are written to the segment's
+// own slot, but the segment stays in memory and keeps filling; a later seal
+// rewrites the whole segment in place, and the earlier partial image is
+// superseded at no cleaning cost.
+func (l *LLD) writePartial() error { return l.writePartialVia(l.dsk.WriteAt, &l.stats.PartialWrites) }
+
+// writePartialNVRAM is the §5.3 variant: the partial image lands in
+// battery-backed NVRAM, so no disk operation is charged.
+func (l *LLD) writePartialNVRAM() error {
+	return l.writePartialVia(l.dsk.WriteAtNVRAM, &l.stats.NVRAMFlushes)
+}
+
+func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64) error {
+	cur := l.cur
+	if cur == nil || !cur.dirty {
+		return nil
+	}
+	writeTS := l.nextTS()
+	if err := encodeSummary(cur.buf, l.lay, cur.id, writeTS, false, cur.dataOff, cur.entries, cur.tuples); err != nil {
+		return err
+	}
+	ss := l.lay.sectorSize
+	dataBytes := (cur.dataOff + ss - 1) / ss * ss
+	off := l.lay.segOff(cur.id)
+	// Data prefix first, then the summary into the ping-pong slot not
+	// holding the newest acknowledged image: a tear anywhere leaves that
+	// previous image intact, so acknowledged records are never destroyed
+	// by a later rewrite of the same segment (the in-place strategy of
+	// §3.2 made crash-safe).
+	if dataBytes > 0 {
+		if err := write(cur.buf[:dataBytes], off); err != nil {
+			return err
+		}
+	}
+	sum := cur.buf[l.lay.dataCap() : l.lay.dataCap()+l.lay.summarySize]
+	if err := write(sum, l.lay.sumOff(cur.id, cur.slot)); err != nil {
+		return err
+	}
+	cur.slot ^= 1
+	l.chargeCompression()
+	l.segs[cur.id].ts = writeTS
+	cur.dirty = false
+	cur.durableTS = writeTS
+	*counter++
+	l.releaseCooling()
+	return nil
+}
+
+// releaseCooling moves cooled segments to the free pool. A segment freed by
+// the cleaner becomes reusable only after the next durable write, which is
+// what makes the facts the cleaner re-logged (and the block copies it
+// moved) reachable by recovery before the old copies can be destroyed.
+func (l *LLD) releaseCooling() {
+	for _, id := range l.cooling {
+		l.segs[id].state = segFree
+		l.freeSegs = append(l.freeSegs, id)
+	}
+	l.cooling = l.cooling[:0]
+}
+
+// retireSegment marks a cleaned segment as freed, honoring ARU and cooling
+// rules. Callers hold l.mu.
+func (l *LLD) retireSegment(id int) {
+	l.segs[id].state = segCooling
+	l.segs[id].live = 0
+	if l.aruOpen {
+		l.pendingARU = append(l.pendingARU, id)
+	} else {
+		l.cooling = append(l.cooling, id)
+	}
+}
+
+// chargeCompression applies the modeled CPU cost accumulated for the
+// segment that was just written. With CompressOverlap the compression of
+// this segment overlapped the previous segment write, so only the excess
+// over that write time is charged (paper §4.2).
+func (l *LLD) chargeCompression() {
+	if l.compressCPU <= 0 {
+		return
+	}
+	delay := l.compressCPU
+	if l.opts.CompressOverlap && l.lastSealDur > 0 {
+		if delay <= l.lastSealDur {
+			delay = 0
+		} else {
+			delay -= l.lastSealDur
+		}
+	}
+	l.dsk.AdvanceIdle(delay)
+	l.compressCPU = 0
+}
+
+// readStored returns the stored bytes of a block, either from the open
+// segment in memory or from disk (reading whole sectors around the block).
+// Callers hold l.mu.
+func (l *LLD) readStored(bi *blockInfo) ([]byte, error) {
+	if bi.stored == 0 {
+		return nil, nil
+	}
+	if l.cur != nil && int(bi.seg) == l.cur.id {
+		return l.cur.buf[bi.off : bi.off+bi.stored], nil
+	}
+	ss := l.lay.sectorSize
+	segBase := l.lay.segOff(int(bi.seg))
+	first := int64(bi.off) / int64(ss) * int64(ss)
+	end := (int64(bi.off) + int64(bi.stored) + int64(ss) - 1) / int64(ss) * int64(ss)
+	span := int(end - first)
+	if span > len(l.scratch) {
+		l.scratch = make([]byte, span)
+	}
+	if err := l.dsk.ReadAt(l.scratch[:span], segBase+first); err != nil {
+		return nil, err
+	}
+	rel := int64(bi.off) - first
+	return l.scratch[rel : rel+int64(bi.stored)], nil
+}

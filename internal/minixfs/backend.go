@@ -1,0 +1,92 @@
+// Package minixfs implements a MINIX-style file system (Tanenbaum 1987) —
+// i-nodes with direct, indirect and double-indirect zones, linear
+// directories, and a fixed-size buffer cache — with two interchangeable
+// disk-management backends:
+//
+//   - BitmapBackend: the classic organization on a raw disk, with a zone
+//     bitmap and allocate-near-previous policy ("MINIX" in the paper's
+//     tables);
+//   - LDBackend: disk management delegated to a Logical Disk via logical
+//     block numbers and per-file block lists ("MINIX LLD").
+//
+// The delta between the two backends mirrors the paper's Section 4.1: with
+// LD the file system stops tracking free disk space for data blocks, stores
+// a list identifier in each i-node, allocates blocks with NewBlock (list
+// and predecessor hints), and turns sync into an LD Flush. Read-ahead is
+// only used on the bitmap backend, as in the paper.
+package minixfs
+
+import "errors"
+
+// Handle names a disk block as seen by the file system: a physical zone
+// number on the bitmap backend, a logical block number on LD.
+type Handle = uint32
+
+// NilHandle is the invalid block handle.
+const NilHandle Handle = 0
+
+// Errors specific to backends.
+var (
+	ErrBackendFull = errors.New("minixfs: backend out of blocks")
+	ErrBadHandle   = errors.New("minixfs: invalid block handle")
+)
+
+// Backend abstracts disk management. The file system performs all I/O in
+// whole blocks through it, via the buffer cache.
+type Backend interface {
+	// BlockSize returns the data block size in bytes.
+	BlockSize() int
+
+	// AllocStatic allocates n blocks with consecutive handles for the file
+	// system's fixed metadata (superblock, i-node bitmap, i-node table).
+	// It may only be called during mkfs, before any Alloc.
+	AllocStatic(n int) (first Handle, err error)
+
+	// FirstStatic returns the handle of the first static block, for
+	// attaching to an existing file system.
+	FirstStatic() Handle
+
+	// Alloc allocates one block. list selects the per-file block list (LD
+	// backend; 0 means the shared list) and pred is the predecessor /
+	// locality hint.
+	Alloc(list uint32, pred Handle) (Handle, error)
+
+	// Free releases a block. predHint mirrors the paper's DeleteBlock hint.
+	Free(h Handle, list uint32, predHint Handle) error
+
+	// ReadBlock fills p (len(p) <= BlockSize) from block h. Bytes never
+	// written read as zero.
+	ReadBlock(h Handle, p []byte) error
+
+	// WriteBlock stores p (len(p) <= BlockSize) as the contents of h.
+	WriteBlock(h Handle, p []byte) error
+
+	// NewFileList creates a per-file block list and returns its id, or 0
+	// if the backend does not support lists (bitmap backend).
+	NewFileList(pred uint32) (uint32, error)
+
+	// DeleteFileList drops a per-file list (and any blocks still on it).
+	DeleteFileList(list uint32) error
+
+	// Flush makes all completed writes durable (LD Flush / raw-disk sync).
+	Flush() error
+
+	// SupportsReadahead reports whether physical-contiguity read-ahead is
+	// meaningful (true for the bitmap backend; the paper disables
+	// read-ahead for MINIX LLD because logically consecutive blocks need
+	// not be physically consecutive).
+	SupportsReadahead() bool
+
+	// BlockAt resolves the idx-th block of a per-file list — offset
+	// addressing (paper §5.4), which lets a file system do without
+	// indirect blocks entirely. Backends without lists return ErrBadHandle.
+	BlockAt(list uint32, idx int) (Handle, error)
+
+	// BeginARU and EndARU bracket an atomic recovery unit (LD backends);
+	// the bitmap backend has no recovery units and treats them as no-ops.
+	BeginARU() error
+	EndARU() error
+
+	// Now returns a low-resolution clock for mtimes, in seconds.
+	Now() uint32
+}

@@ -1,0 +1,211 @@
+package minixfs
+
+import (
+	"container/list"
+	"sort"
+)
+
+// bufCache is the MINIX buffer cache: a fixed-capacity LRU of blocks with
+// write-behind. Dirty blocks reach the disk on eviction or Sync, matching
+// the paper's observation that "MINIX keeps recently used data and i-node
+// blocks in a buffer cache, which is flushed when an application calls
+// sync". The experiments use a static 6,144-KB cache (§4.2).
+type bufCache struct {
+	be       Backend
+	capacity int // bytes
+
+	entries map[Handle]*list.Element
+	lru     *list.List // front = most recent
+	size    int
+
+	hits, misses int64
+
+	// trackTouched records every handle dirtied while an atomic operation
+	// is open, so the file system can write exactly those through inside
+	// the recovery unit.
+	trackTouched bool
+	touched      map[Handle]bool
+}
+
+type bufEntry struct {
+	h     Handle
+	data  []byte
+	dirty bool
+}
+
+func newBufCache(be Backend, capacity int) *bufCache {
+	return &bufCache{
+		be:       be,
+		capacity: capacity,
+		entries:  make(map[Handle]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cache entry for h with at least size bytes, reading from
+// the backend on a miss. Cached entries are grown (and backfilled) if a
+// larger view is requested.
+func (c *bufCache) get(h Handle, size int) (*bufEntry, error) {
+	if el, ok := c.entries[h]; ok {
+		e := el.Value.(*bufEntry)
+		if len(e.data) >= size {
+			c.lru.MoveToFront(el)
+			c.hits++
+			return e, nil
+		}
+		// Grow: refetch the larger extent, preserving the dirty prefix.
+		grown := make([]byte, size)
+		if err := c.be.ReadBlock(h, grown); err != nil {
+			return nil, err
+		}
+		copy(grown, e.data)
+		c.size += size - len(e.data)
+		e.data = grown
+		c.lru.MoveToFront(el)
+		c.hits++
+		return e, nil
+	}
+	c.misses++
+	data := make([]byte, size)
+	if err := c.be.ReadBlock(h, data); err != nil {
+		return nil, err
+	}
+	e := &bufEntry{h: h, data: data}
+	c.entries[h] = c.lru.PushFront(e)
+	c.size += size
+	if err := c.evict(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// install puts fresh contents for h into the cache without reading the
+// backend (used when the whole block is being overwritten).
+func (c *bufCache) install(h Handle, data []byte, dirty bool) error {
+	if el, ok := c.entries[h]; ok {
+		e := el.Value.(*bufEntry)
+		c.size += len(data) - len(e.data)
+		e.data = data
+		e.dirty = e.dirty || dirty
+		if dirty && c.trackTouched {
+			c.touched[h] = true
+		}
+		c.lru.MoveToFront(el)
+		return c.evict()
+	}
+	e := &bufEntry{h: h, data: data, dirty: dirty}
+	c.entries[h] = c.lru.PushFront(e)
+	c.size += len(data)
+	if dirty && c.trackTouched {
+		c.touched[h] = true
+	}
+	return c.evict()
+}
+
+// markDirty flags a cached entry as modified.
+func (c *bufCache) markDirty(h Handle) {
+	if el, ok := c.entries[h]; ok {
+		el.Value.(*bufEntry).dirty = true
+		if c.trackTouched {
+			c.touched[h] = true
+		}
+	}
+}
+
+// beginTrack starts recording dirtied handles.
+func (c *bufCache) beginTrack() {
+	c.trackTouched = true
+	c.touched = make(map[Handle]bool)
+}
+
+// endTrackFlush stops recording and writes the touched dirty blocks
+// through to the backend (without flushing the backend itself: atomic
+// recovery units provide atomicity; durability still comes from Sync).
+func (c *bufCache) endTrackFlush() error {
+	c.trackTouched = false
+	for h := range c.touched {
+		el, ok := c.entries[h]
+		if !ok {
+			continue // evicted: already written through
+		}
+		e := el.Value.(*bufEntry)
+		if !e.dirty {
+			continue
+		}
+		if err := c.be.WriteBlock(e.h, e.data); err != nil {
+			return err
+		}
+		e.dirty = false
+	}
+	c.touched = nil
+	return nil
+}
+
+// contains reports whether h is cached (used by read-ahead).
+func (c *bufCache) contains(h Handle) bool {
+	_, ok := c.entries[h]
+	return ok
+}
+
+// drop removes h from the cache, discarding its contents. Callers must
+// ensure it is clean or obsolete (e.g. the block was freed).
+func (c *bufCache) drop(h Handle) {
+	if el, ok := c.entries[h]; ok {
+		e := el.Value.(*bufEntry)
+		c.size -= len(e.data)
+		c.lru.Remove(el)
+		delete(c.entries, h)
+	}
+}
+
+// evict writes back and discards least-recently-used entries until the
+// cache fits its capacity.
+func (c *bufCache) evict() error {
+	for c.size > c.capacity && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		e := el.Value.(*bufEntry)
+		if e.dirty {
+			if err := c.be.WriteBlock(e.h, e.data); err != nil {
+				return err
+			}
+			e.dirty = false
+		}
+		c.size -= len(e.data)
+		c.lru.Remove(el)
+		delete(c.entries, e.h)
+	}
+	return nil
+}
+
+// syncAll writes every dirty block back, in ascending handle order so that
+// the bitmap backend sees mostly-monotonic arm movement, then flushes the
+// backend.
+func (c *bufCache) syncAll() error {
+	var dirty []*bufEntry
+	for _, el := range c.entries {
+		e := el.Value.(*bufEntry)
+		if e.dirty {
+			dirty = append(dirty, e)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].h < dirty[j].h })
+	for _, e := range dirty {
+		if err := c.be.WriteBlock(e.h, e.data); err != nil {
+			return err
+		}
+		e.dirty = false
+	}
+	return c.be.Flush()
+}
+
+// dropAll empties the cache after syncing, for the between-phase cache
+// flush of the paper's experiments.
+func (c *bufCache) dropAll() error {
+	if err := c.syncAll(); err != nil {
+		return err
+	}
+	c.entries = make(map[Handle]*list.Element)
+	c.lru = list.New()
+	c.size = 0
+	return nil
+}

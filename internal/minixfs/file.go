@@ -1,0 +1,240 @@
+package minixfs
+
+import (
+	"repro/internal/vfs"
+)
+
+// readaheadBlocks is how far MINIX prefetches past a read miss when the
+// backend supports it (bitmap backend only; the paper disables read-ahead
+// for MINIX LLD).
+const readaheadBlocks = 7
+
+// file implements vfs.File over one i-node.
+type file struct {
+	fs     *FS
+	n      uint32
+	closed bool
+}
+
+func (f *file) check() error {
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	return f.fs.checkOpen()
+}
+
+// Size implements vfs.File.
+func (f *file) Size() int64 {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	ino, err := f.fs.getInode(f.n)
+	if err != nil {
+		return 0
+	}
+	return int64(ino.Size)
+}
+
+// ReadAt implements vfs.File.
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	ino, err := f.fs.getInode(f.n)
+	if err != nil {
+		return 0, err
+	}
+	size := int64(ino.Size)
+	if off >= size {
+		return 0, nil
+	}
+	if max := size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	bs := int64(f.fs.sb.BlockSize)
+	read := 0
+	for read < len(p) {
+		idx := int((off + int64(read)) / bs)
+		inBlk := int((off + int64(read)) % bs)
+		n := f.fs.sb.BlockSize - inBlk
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		h, err := f.fs.bmap(f.n, &ino, idx, false)
+		if err != nil {
+			return read, err
+		}
+		if h == NilHandle {
+			// Hole: reads as zeros.
+			for i := 0; i < n; i++ {
+				p[read+i] = 0
+			}
+			read += n
+			continue
+		}
+		if !f.fs.cache.contains(h) && f.fs.be.SupportsReadahead() {
+			f.fs.readahead(f.n, &ino, idx)
+		}
+		e, err := f.fs.cache.get(h, f.fs.sb.BlockSize)
+		if err != nil {
+			return read, err
+		}
+		copy(p[read:read+n], e.data[inBlk:])
+		read += n
+	}
+	f.fs.stats.BytesRead += int64(read)
+	return read, nil
+}
+
+// readahead prefetches the blocks after file block idx, combining
+// physically contiguous zones into a single disk request. This is the
+// classic MINIX prefetch that pays off on sequentially allocated files and
+// backfires on random access (paper §4.2: "MINIX's read-ahead strategy
+// fails" on random reads).
+func (fs *FS) readahead(n uint32, ino *inode, idx int) {
+	type run struct {
+		first Handle
+		count int
+	}
+	var runs []run
+	prev := NilHandle
+	for i := idx; i <= idx+readaheadBlocks; i++ {
+		h, err := fs.bmap(n, ino, i, false)
+		if err != nil || h == NilHandle {
+			break
+		}
+		if i > idx && fs.cache.contains(h) {
+			break
+		}
+		if prev != NilHandle && h == prev+1 {
+			runs[len(runs)-1].count++
+		} else {
+			runs = append(runs, run{first: h, count: 1})
+		}
+		prev = h
+	}
+	bs := fs.sb.BlockSize
+	for _, r := range runs {
+		if rr, ok := fs.be.(interface {
+			ReadBlockRun(first Handle, count int, buf []byte) error
+		}); ok && r.count > 1 {
+			buf := make([]byte, r.count*bs)
+			if err := rr.ReadBlockRun(r.first, r.count, buf); err != nil {
+				return
+			}
+			for i := 0; i < r.count; i++ {
+				blk := make([]byte, bs)
+				copy(blk, buf[i*bs:])
+				if err := fs.cache.install(r.first+Handle(i), blk, false); err != nil {
+					return
+				}
+				fs.stats.ReadaheadBlocks++
+			}
+			continue
+		}
+		for i := 0; i < r.count; i++ {
+			if _, err := fs.cache.get(r.first+Handle(i), bs); err != nil {
+				return
+			}
+			fs.stats.ReadaheadBlocks++
+		}
+	}
+}
+
+// WriteAt implements vfs.File.
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	ino, err := f.fs.getInode(f.n)
+	if err != nil {
+		return 0, err
+	}
+	bs := int64(f.fs.sb.BlockSize)
+	if (off+int64(len(p))+bs-1)/bs > int64(f.fs.maxFileBlocks()) {
+		return 0, vfs.ErrInvalid
+	}
+	written := 0
+	for written < len(p) {
+		idx := int((off + int64(written)) / bs)
+		inBlk := int((off + int64(written)) % bs)
+		nn := f.fs.sb.BlockSize - inBlk
+		if nn > len(p)-written {
+			nn = len(p) - written
+		}
+		h, err := f.fs.bmap(f.n, &ino, idx, true)
+		if err != nil {
+			return written, err
+		}
+		if inBlk == 0 && nn == f.fs.sb.BlockSize {
+			// Full-block overwrite: no need to read first.
+			blk := make([]byte, f.fs.sb.BlockSize)
+			copy(blk, p[written:written+nn])
+			if err := f.fs.cache.install(h, blk, true); err != nil {
+				return written, err
+			}
+		} else {
+			e, err := f.fs.cache.get(h, f.fs.sb.BlockSize)
+			if err != nil {
+				return written, err
+			}
+			copy(e.data[inBlk:], p[written:written+nn])
+			f.fs.cache.markDirty(h)
+		}
+		written += nn
+	}
+	end := off + int64(written)
+	if end > int64(ino.Size) {
+		ino.Size = uint32(end)
+	}
+	ino.MTime = f.fs.be.Now()
+	if err := f.fs.putInode(f.n, &ino); err != nil {
+		return written, err
+	}
+	f.fs.stats.BytesWritten += int64(written)
+	return written, nil
+}
+
+// Truncate implements vfs.File.
+func (f *file) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	ino, err := f.fs.getInode(f.n)
+	if err != nil {
+		return err
+	}
+	if err := f.fs.atomicBegin(); err != nil {
+		return err
+	}
+	return f.fs.atomicEnd(f.fs.truncateInode(f.n, &ino, size))
+}
+
+// Sync implements vfs.File. MINIX has no per-file sync; on the LD backend
+// a finer-grained implementation could use FlushList, but the paper's
+// MINIX maps fsync to sync.
+func (f *file) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.fs.cache.syncAll()
+}
+
+// Close implements vfs.File.
+func (f *file) Close() error {
+	f.closed = true
+	return nil
+}

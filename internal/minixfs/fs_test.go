@@ -1,0 +1,666 @@
+package minixfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lld"
+	"repro/internal/vfs"
+)
+
+// backends under test: "bitmap" (classic MINIX), "ld-single" (one shared
+// list), "ld-perfile" (one list per file), "ld-small" (per-file lists and
+// 64-byte i-node blocks).
+var backendNames = []string{"bitmap", "ld-single", "ld-perfile", "ld-small"}
+
+func newFS(t *testing.T, kind string, capacity int64) *FS {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(capacity))
+	cfg := Config{BlockSize: 4096, NInodes: 2048, CacheBytes: 512 * 1024}
+	switch kind {
+	case "bitmap":
+		be, err := FormatBitmap(d, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Mkfs(be, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	case "ld-single", "ld-perfile", "ld-small":
+		opts := lld.DefaultOptions()
+		opts.SegmentSize = 128 * 1024
+		opts.SummarySize = 8 * 1024
+		if err := lld.Format(d, opts); err != nil {
+			t.Fatal(err)
+		}
+		l, err := lld.Open(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcfg := LDConfig{PerFileLists: kind != "ld-single"}
+		be, err := FormatLD(l, 4096, lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == "ld-small" {
+			cfg.SmallInodes = true
+		}
+		fs, err := Mkfs(be, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	default:
+		t.Fatalf("unknown backend %q", kind)
+		return nil
+	}
+}
+
+func forEachBackend(t *testing.T, f func(t *testing.T, fs *FS)) {
+	for _, kind := range backendNames {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			f(t, newFS(t, kind, 32<<20))
+		})
+	}
+}
+
+func writeFile(t *testing.T, fs *FS, path string, data []byte) {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func readFile(t *testing.T, fs *FS, path string) []byte {
+	t.Helper()
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return buf
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		data := []byte("hello minix on a logical disk")
+		writeFile(t, fs, "/hello.txt", data)
+		if got := readFile(t, fs, "/hello.txt"); !bytes.Equal(got, data) {
+			t.Fatalf("got %q", got)
+		}
+		info, err := fs.Stat("/hello.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size != int64(len(data)) || info.IsDir {
+			t.Fatalf("stat: %+v", info)
+		}
+	})
+}
+
+func TestLargeFileSpansIndirects(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		// 7 direct (28K) + into the indirect range and beyond one
+		// indirect block boundary requires > 4 MB; keep it at 5 MB.
+		const size = 5 << 20
+		rng := rand.New(rand.NewSource(42))
+		data := make([]byte, size)
+		rng.Read(data)
+		f, err := fs.Create("/big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < size; off += 64 * 1024 {
+			if _, err := f.WriteAt(data[off:off+64*1024], int64(off)); err != nil {
+				t.Fatalf("write at %d: %v", off, err)
+			}
+		}
+		if f.Size() != size {
+			t.Fatalf("size %d", f.Size())
+		}
+		// Spot-check reads across the direct/indirect/double boundaries.
+		for _, off := range []int{0, 28*1024 - 100, 28 * 1024, 4<<20 - 1000, 4 << 20, size - 4096} {
+			buf := make([]byte, 1000)
+			n, err := f.ReadAt(buf, int64(off))
+			if err != nil {
+				t.Fatalf("read at %d: %v", off, err)
+			}
+			if !bytes.Equal(buf[:n], data[off:off+n]) {
+				t.Fatalf("mismatch at %d", off)
+			}
+		}
+		f.Close()
+	})
+}
+
+func TestSparseFileReadsZeros(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		f, err := fs.Create("/sparse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.WriteAt([]byte("end"), 100*1024); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		n, err := f.ReadAt(buf, 50*1024)
+		if err != nil || n != 4096 {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				t.Fatal("hole did not read as zeros")
+			}
+		}
+	})
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		data := bytes.Repeat([]byte{7}, 256*1024)
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 10; i++ {
+				writeFile(t, fs, fmt.Sprintf("/f%d", i), data)
+			}
+			for i := 0; i < 10; i++ {
+				if err := fs.Unlink(fmt.Sprintf("/f%d", i)); err != nil {
+					t.Fatalf("round %d unlink %d: %v", round, i, err)
+				}
+			}
+		}
+		// Everything should be gone.
+		infos, err := fs.ReadDir("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("root still has %d entries", len(infos))
+		}
+		if _, err := fs.Open("/f0"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("open deleted: %v", err)
+		}
+	})
+}
+
+func TestDirectories(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		if err := fs.Mkdir("/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Mkdir("/a/b"); err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, fs, "/a/b/file", []byte("nested"))
+		if got := readFile(t, fs, "/a/b/file"); string(got) != "nested" {
+			t.Fatalf("got %q", got)
+		}
+		if err := fs.Mkdir("/a"); !errors.Is(err, vfs.ErrExist) {
+			t.Fatalf("duplicate mkdir: %v", err)
+		}
+		if err := fs.Rmdir("/a"); !errors.Is(err, vfs.ErrNotEmpty) {
+			t.Fatalf("rmdir non-empty: %v", err)
+		}
+		if err := fs.Rmdir("/a/b"); !errors.Is(err, vfs.ErrNotEmpty) {
+			t.Fatalf("rmdir b with file: %v", err)
+		}
+		if err := fs.Unlink("/a/b/file"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir("/a/b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir("/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink("/a"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("unlink gone dir: %v", err)
+		}
+	})
+}
+
+func TestManyFilesInOneDirectory(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		const n = 300
+		data := []byte("x")
+		for i := 0; i < n; i++ {
+			writeFile(t, fs, fmt.Sprintf("/file-%04d", i), data)
+		}
+		infos, err := fs.ReadDir("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != n {
+			t.Fatalf("%d entries, want %d", len(infos), n)
+		}
+		names := make([]string, len(infos))
+		for i, fi := range infos {
+			names[i] = fi.Name
+		}
+		sort.Strings(names)
+		for i := 0; i < n; i++ {
+			if names[i] != fmt.Sprintf("file-%04d", i) {
+				t.Fatalf("entry %d = %q", i, names[i])
+			}
+		}
+		// Delete the even ones and re-list.
+		for i := 0; i < n; i += 2 {
+			if err := fs.Unlink(fmt.Sprintf("/file-%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		infos, _ = fs.ReadDir("/")
+		if len(infos) != n/2 {
+			t.Fatalf("%d entries after deletes", len(infos))
+		}
+	})
+}
+
+func TestRename(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		writeFile(t, fs, "/old", []byte("payload"))
+		if err := fs.Mkdir("/dir"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename("/old", "/dir/new"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Open("/old"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("old path alive: %v", err)
+		}
+		if got := readFile(t, fs, "/dir/new"); string(got) != "payload" {
+			t.Fatalf("got %q", got)
+		}
+		writeFile(t, fs, "/other", []byte("o"))
+		if err := fs.Rename("/other", "/dir/new"); !errors.Is(err, vfs.ErrExist) {
+			t.Fatalf("rename onto existing: %v", err)
+		}
+	})
+}
+
+func TestTruncate(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		data := bytes.Repeat([]byte{9}, 100*1024)
+		writeFile(t, fs, "/t", data)
+		f, err := fs.Open("/t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Truncate(10 * 1024); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 10*1024 {
+			t.Fatalf("size %d", f.Size())
+		}
+		buf := make([]byte, 20*1024)
+		n, err := f.ReadAt(buf, 0)
+		if err != nil || n != 10*1024 {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(buf[:n], data[:n]) {
+			t.Fatal("surviving prefix corrupted")
+		}
+		// Grow again: the re-extended region reads as zeros.
+		if err := f.Truncate(30 * 1024); err != nil {
+			t.Fatal(err)
+		}
+		n, err = f.ReadAt(buf, 10*1024)
+		if err != nil || n != 20*1024 {
+			t.Fatalf("n=%d err=%v", n, err)
+		}
+		for _, b := range buf[:n] {
+			if b != 0 {
+				t.Fatal("regrown region not zero")
+			}
+		}
+		if err := f.Truncate(0); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size() != 0 {
+			t.Fatal("truncate to zero failed")
+		}
+	})
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		writeFile(t, fs, "/f", bytes.Repeat([]byte{1}, 8192))
+		writeFile(t, fs, "/f", []byte("short"))
+		got := readFile(t, fs, "/f")
+		if string(got) != "short" {
+			t.Fatalf("got %d bytes %q", len(got), got)
+		}
+	})
+}
+
+func TestPathErrors(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		if _, err := fs.Open("relative"); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("relative path: %v", err)
+		}
+		if _, err := fs.Open("/no/such/file"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("missing: %v", err)
+		}
+		writeFile(t, fs, "/plain", []byte("x"))
+		if _, err := fs.Create("/plain/sub"); !errors.Is(err, vfs.ErrNotDir) {
+			t.Fatalf("file as dir: %v", err)
+		}
+		long := "/" + string(bytes.Repeat([]byte{'n'}, maxNameLen+1))
+		if _, err := fs.Create(long); !errors.Is(err, vfs.ErrNameTooLong) {
+			t.Fatalf("long name: %v", err)
+		}
+		if _, err := fs.Open("/"); !errors.Is(err, vfs.ErrIsDir) {
+			t.Fatalf("open root: %v", err)
+		}
+	})
+}
+
+func TestSyncAndDropCachesPreserveData(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, fs *FS) {
+		data := bytes.Repeat([]byte{0x5A}, 123456)
+		writeFile(t, fs, "/persist", data)
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		if got := readFile(t, fs, "/persist"); !bytes.Equal(got, data) {
+			t.Fatal("data lost across cache drop")
+		}
+	})
+}
+
+func TestInodeExhaustion(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	be, err := FormatBitmap(d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(be, Config{BlockSize: 4096, NInodes: 16, CacheBytes: 256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 32; i++ {
+		f, err := fs.Create(fmt.Sprintf("/f%d", i))
+		if err != nil {
+			lastErr = err
+			break
+		}
+		f.Close()
+	}
+	if !errors.Is(lastErr, vfs.ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", lastErr)
+	}
+}
+
+func TestDiskFull(t *testing.T) {
+	fs := newFS(t, "ld-perfile", 8<<20)
+	data := bytes.Repeat([]byte{1}, 1<<20)
+	var lastErr error
+	for i := 0; i < 32 && lastErr == nil; i++ {
+		f, err := fs.Create(fmt.Sprintf("/f%d", i))
+		if err != nil {
+			lastErr = err
+			break
+		}
+		_, lastErr = f.WriteAt(data, 0)
+		f.Close()
+	}
+	if lastErr == nil {
+		t.Fatal("expected an out-of-space error")
+	}
+	// The file system must remain usable: delete and retry.
+	infos, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fi := range infos {
+		if err := fs.Unlink("/" + fi.Name); err != nil {
+			t.Fatalf("unlink %s: %v", fi.Name, err)
+		}
+	}
+	writeFile(t, fs, "/after", data[:64*1024])
+	if got := readFile(t, fs, "/after"); !bytes.Equal(got, data[:64*1024]) {
+		t.Fatal("post-recovery write corrupted")
+	}
+}
+
+// TestBackendEquivalence runs an identical random operation sequence
+// against every backend and checks that the logical file trees end up
+// identical — the separation of file and disk management must not change
+// file system semantics.
+func TestBackendEquivalence(t *testing.T) {
+	type opRec struct {
+		op   int
+		path string
+		size int
+	}
+	rng := rand.New(rand.NewSource(99))
+	var ops []opRec
+	var live []string
+	for i := 0; i < 250; i++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(live) == 0:
+			p := fmt.Sprintf("/f%02d", rng.Intn(40))
+			ops = append(ops, opRec{op: 0, path: p, size: rng.Intn(30000)})
+			live = append(live, p)
+		case r < 7:
+			p := live[rng.Intn(len(live))]
+			ops = append(ops, opRec{op: 1, path: p, size: rng.Intn(30000)})
+		case r < 9:
+			p := live[rng.Intn(len(live))]
+			ops = append(ops, opRec{op: 2, path: p})
+		default:
+			ops = append(ops, opRec{op: 3})
+		}
+	}
+
+	capture := func(fs *FS) map[string]string {
+		out := make(map[string]string)
+		infos, err := fs.ReadDir("/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fi := range infos {
+			data := readFile(t, fs, "/"+fi.Name)
+			out[fi.Name] = fmt.Sprintf("%x", data)
+		}
+		return out
+	}
+
+	var states []map[string]string
+	for _, kind := range backendNames {
+		fs := newFS(t, kind, 64<<20)
+		for _, o := range ops {
+			switch o.op {
+			case 0, 1:
+				f, err := fs.Create(o.path)
+				if err != nil {
+					t.Fatalf("%s create %s: %v", kind, o.path, err)
+				}
+				payload := bytes.Repeat([]byte{byte(o.size)}, o.size)
+				if _, err := f.WriteAt(payload, 0); err != nil {
+					t.Fatalf("%s write: %v", kind, err)
+				}
+				f.Close()
+			case 2:
+				err := fs.Unlink(o.path)
+				if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+					t.Fatalf("%s unlink: %v", kind, err)
+				}
+			case 3:
+				if err := fs.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		states = append(states, capture(fs))
+	}
+	for i := 1; i < len(states); i++ {
+		if len(states[i]) != len(states[0]) {
+			t.Fatalf("%s has %d files, %s has %d", backendNames[i], len(states[i]), backendNames[0], len(states[0]))
+		}
+		for name, v := range states[0] {
+			if states[i][name] != v {
+				t.Fatalf("%s: file %s differs from %s", backendNames[i], name, backendNames[0])
+			}
+		}
+	}
+}
+
+// TestLDBackendSurvivesCrash checks the end-to-end story: MINIX LLD state
+// flushed via sync survives an LD crash and one-sweep recovery.
+func TestLDBackendSurvivesCrash(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 128 * 1024
+	if err := lld.Format(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := FormatLD(l, 4096, LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(be, Config{BlockSize: 4096, NInodes: 512, CacheBytes: 256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAA}, 50000)
+	writeFile(t, fs, "/durable", data)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the host: LD memory state is lost, disk survives.
+	if err := l.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().RecoverySweepSegments == 0 {
+		t.Fatal("no sweep happened")
+	}
+	be2, err := OpenLD(l2, 4096, LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Open(be2, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, fs2, "/durable"); !bytes.Equal(got, data) {
+		t.Fatal("file lost across crash+recovery")
+	}
+}
+
+// TestQuickFSShadowModel drives random file operations against a map-based
+// shadow model and verifies full agreement.
+func TestQuickFSShadowModel(t *testing.T) {
+	for _, kind := range []string{"bitmap", "ld-perfile"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			fs := newFS(t, kind, 64<<20)
+			shadow := make(map[string][]byte)
+			rng := rand.New(rand.NewSource(5))
+			names := []string{"/a", "/b", "/c", "/d", "/e", "/f", "/g", "/h"}
+			for step := 0; step < 400; step++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(6) {
+				case 0, 1: // create/overwrite
+					size := rng.Intn(20000)
+					payload := make([]byte, size)
+					rng.Read(payload)
+					f, err := fs.Create(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.WriteAt(payload, 0); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+					shadow[name] = payload
+				case 2: // append
+					if _, ok := shadow[name]; !ok {
+						continue
+					}
+					extra := make([]byte, rng.Intn(5000))
+					rng.Read(extra)
+					f, err := fs.Open(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := f.WriteAt(extra, f.Size()); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+					shadow[name] = append(shadow[name], extra...)
+				case 3: // unlink
+					if _, ok := shadow[name]; !ok {
+						continue
+					}
+					if err := fs.Unlink(name); err != nil {
+						t.Fatal(err)
+					}
+					delete(shadow, name)
+				case 4: // truncate
+					if _, ok := shadow[name]; !ok {
+						continue
+					}
+					nsz := rng.Intn(len(shadow[name]) + 1)
+					f, err := fs.Open(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := f.Truncate(int64(nsz)); err != nil {
+						t.Fatal(err)
+					}
+					f.Close()
+					shadow[name] = shadow[name][:nsz]
+				case 5: // verify one file
+					want, ok := shadow[name]
+					if !ok {
+						if _, err := fs.Open(name); !errors.Is(err, vfs.ErrNotExist) {
+							t.Fatalf("%s should not exist: %v", name, err)
+						}
+						continue
+					}
+					if got := readFile(t, fs, name); !bytes.Equal(got, want) {
+						t.Fatalf("step %d: %s differs (%d vs %d bytes)", step, name, len(got), len(want))
+					}
+				}
+			}
+			// Final verification of everything.
+			for name, want := range shadow {
+				if got := readFile(t, fs, name); !bytes.Equal(got, want) {
+					t.Fatalf("final: %s differs", name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,571 @@
+package minixfs
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// On-disk i-node layout: 64 bytes, MINIX-style, with 7 direct zones, one
+// indirect and one double-indirect zone. MINIX LLD additionally stores the
+// file's LD list identifier in the i-node (paper §4.1: "MINIX stores the
+// list identifier in the i-node, so that it can remember the list
+// identifier for each file").
+const (
+	inodeSize  = 64
+	nDirect    = 7
+	znIndirect = 7 // index of the indirect zone slot
+	znDouble   = 8 // index of the double-indirect zone slot
+	nZoneSlots = 9
+	rootIno    = 1
+	maxNameLen = 27
+	direntSize = 32
+)
+
+// File modes.
+const (
+	modeFree uint16 = 0
+	modeFile uint16 = 1
+	modeDir  uint16 = 2
+)
+
+type inode struct {
+	Mode   uint16
+	Links  uint16
+	Size   uint32
+	MTime  uint32
+	List   uint32 // LD per-file list id; 0 = shared list / bitmap backend
+	Last   Handle // allocation hint: most recently allocated block
+	Blocks uint32 // offset addressing: allocated blocks on the list
+	Zones  [nZoneSlots]Handle
+}
+
+func (ino *inode) encode(p []byte) {
+	for i := range p[:inodeSize] {
+		p[i] = 0
+	}
+	put16(p[0:], ino.Mode)
+	put16(p[2:], ino.Links)
+	put32(p[4:], ino.Size)
+	put32(p[8:], ino.MTime)
+	put32(p[12:], ino.List)
+	put32(p[16:], ino.Last)
+	for i, z := range ino.Zones {
+		put32(p[20+4*i:], z)
+	}
+	put32(p[56:], ino.Blocks)
+}
+
+func (ino *inode) decode(p []byte) {
+	ino.Mode = le16(p[0:])
+	ino.Links = le16(p[2:])
+	ino.Size = le32(p[4:])
+	ino.MTime = le32(p[8:])
+	ino.List = le32(p[12:])
+	ino.Last = le32(p[16:])
+	for i := range ino.Zones {
+		ino.Zones[i] = le32(p[20+4*i:])
+	}
+	ino.Blocks = le32(p[56:])
+}
+
+// inodeLoc returns the block handle and byte offset holding i-node number n.
+func (fs *FS) inodeLoc(n uint32) (Handle, int, int) {
+	if fs.sb.SmallInodes {
+		// One 64-byte LD block per i-node (multiple block sizes, §4.1).
+		return fs.sb.InodeBase + (n - 1), 0, inodeSize
+	}
+	perBlock := fs.sb.BlockSize / inodeSize
+	blk := fs.sb.InodeBase + (n-1)/uint32(perBlock)
+	off := int((n - 1) % uint32(perBlock) * inodeSize)
+	return blk, off, fs.sb.BlockSize
+}
+
+// getInode reads i-node n through the buffer cache.
+func (fs *FS) getInode(n uint32) (inode, error) {
+	var ino inode
+	if n == 0 || n > fs.sb.NInodes {
+		return ino, fmt.Errorf("%w: inode %d", vfs.ErrInvalid, n)
+	}
+	blk, off, span := fs.inodeLoc(n)
+	e, err := fs.cache.get(blk, span)
+	if err != nil {
+		return ino, err
+	}
+	ino.decode(e.data[off : off+inodeSize])
+	return ino, nil
+}
+
+// putInode writes i-node n back through the buffer cache.
+func (fs *FS) putInode(n uint32, ino *inode) error {
+	blk, off, span := fs.inodeLoc(n)
+	e, err := fs.cache.get(blk, span)
+	if err != nil {
+		return err
+	}
+	ino.encode(e.data[off : off+inodeSize])
+	fs.cache.markDirty(blk)
+	return nil
+}
+
+// allocIno finds a free i-node number in the i-node bitmap and marks it.
+func (fs *FS) allocIno() (uint32, error) {
+	bs := fs.sb.BlockSize
+	for b := uint32(0); b < fs.sb.IbmBlocks; b++ {
+		e, err := fs.cache.get(fs.sb.IbmBase+b, bs)
+		if err != nil {
+			return 0, err
+		}
+		for i, by := range e.data {
+			if by == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if by&(1<<bit) == 0 {
+					n := uint32(b)*uint32(bs)*8 + uint32(i)*8 + uint32(bit) + 1
+					if n > fs.sb.NInodes {
+						return 0, vfs.ErrNoSpace
+					}
+					e.data[i] |= 1 << bit
+					fs.cache.markDirty(fs.sb.IbmBase + b)
+					return n, nil
+				}
+			}
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// freeIno clears i-node n in the bitmap.
+func (fs *FS) freeIno(n uint32) error {
+	bs := fs.sb.BlockSize
+	idx := n - 1
+	b := idx / uint32(bs*8)
+	e, err := fs.cache.get(fs.sb.IbmBase+b, bs)
+	if err != nil {
+		return err
+	}
+	e.data[(idx/8)%uint32(bs)] &^= 1 << (idx % 8)
+	fs.cache.markDirty(fs.sb.IbmBase + b)
+	return nil
+}
+
+// ptrsPerBlock returns how many zone pointers fit in one block.
+func (fs *FS) ptrsPerBlock() int { return fs.sb.BlockSize / 4 }
+
+// maxFileBlocks returns the largest addressable file in blocks.
+func (fs *FS) maxFileBlocks() int {
+	p := fs.ptrsPerBlock()
+	return nDirect + p + p*p
+}
+
+// bmap maps a file block index to a block handle, optionally allocating the
+// block (and any needed indirect blocks) on the file's list. With offset
+// addressing (paper §5.4) the index resolves directly through the file's
+// LD list and no indirect blocks exist at all.
+func (fs *FS) bmap(n uint32, ino *inode, idx int, alloc bool) (Handle, error) {
+	if idx < 0 || idx >= fs.maxFileBlocks() {
+		return NilHandle, fmt.Errorf("%w: block index %d", vfs.ErrInvalid, idx)
+	}
+	if fs.sb.OffsetFiles {
+		return fs.bmapOffset(n, ino, idx, alloc)
+	}
+	p := fs.ptrsPerBlock()
+
+	allocBlock := func() (Handle, error) {
+		h, err := fs.be.Alloc(ino.List, ino.Last)
+		if err != nil {
+			return NilHandle, err
+		}
+		ino.Last = h
+		// A fresh block is logically zero; physical reuse must not leak
+		// a previous file's bytes (install also skips a pointless read).
+		if err := fs.cache.install(h, make([]byte, fs.sb.BlockSize), true); err != nil {
+			return NilHandle, err
+		}
+		return h, nil
+	}
+
+	// Direct zones.
+	if idx < nDirect {
+		h := ino.Zones[idx]
+		if h == NilHandle && alloc {
+			var err error
+			if h, err = allocBlock(); err != nil {
+				return NilHandle, err
+			}
+			ino.Zones[idx] = h
+			if err := fs.putInode(n, ino); err != nil {
+				return NilHandle, err
+			}
+		}
+		return h, nil
+	}
+
+	// Indirect.
+	idx -= nDirect
+	if idx < p {
+		ind := ino.Zones[znIndirect]
+		if ind == NilHandle {
+			if !alloc {
+				return NilHandle, nil
+			}
+			var err error
+			if ind, err = allocBlock(); err != nil {
+				return NilHandle, err
+			}
+			ino.Zones[znIndirect] = ind
+			if err := fs.cache.install(ind, make([]byte, fs.sb.BlockSize), true); err != nil {
+				return NilHandle, err
+			}
+			if err := fs.putInode(n, ino); err != nil {
+				return NilHandle, err
+			}
+		}
+		return fs.indirectSlot(n, ino, ind, idx, alloc)
+	}
+
+	// Double indirect.
+	idx -= p
+	dbl := ino.Zones[znDouble]
+	if dbl == NilHandle {
+		if !alloc {
+			return NilHandle, nil
+		}
+		var err error
+		if dbl, err = allocBlock(); err != nil {
+			return NilHandle, err
+		}
+		ino.Zones[znDouble] = dbl
+		if err := fs.cache.install(dbl, make([]byte, fs.sb.BlockSize), true); err != nil {
+			return NilHandle, err
+		}
+		if err := fs.putInode(n, ino); err != nil {
+			return NilHandle, err
+		}
+	}
+	// First level: which indirect block.
+	e, err := fs.cache.get(dbl, fs.sb.BlockSize)
+	if err != nil {
+		return NilHandle, err
+	}
+	slot := idx / p
+	ind := le32(e.data[4*slot:])
+	if ind == NilHandle {
+		if !alloc {
+			return NilHandle, nil
+		}
+		if ind, err = allocBlock(); err != nil {
+			return NilHandle, err
+		}
+		if err := fs.cache.install(ind, make([]byte, fs.sb.BlockSize), true); err != nil {
+			return NilHandle, err
+		}
+		// Re-fetch: install may have evicted the double-indirect entry.
+		if e, err = fs.cache.get(dbl, fs.sb.BlockSize); err != nil {
+			return NilHandle, err
+		}
+		put32(e.data[4*slot:], ind)
+		fs.cache.markDirty(dbl)
+		if err := fs.putInode(n, ino); err != nil {
+			return NilHandle, err
+		}
+	}
+	return fs.indirectSlot(n, ino, ind, idx%p, alloc)
+}
+
+// indirectSlot resolves one slot of an indirect block, allocating on demand.
+func (fs *FS) indirectSlot(n uint32, ino *inode, ind Handle, slot int, alloc bool) (Handle, error) {
+	e, err := fs.cache.get(ind, fs.sb.BlockSize)
+	if err != nil {
+		return NilHandle, err
+	}
+	h := le32(e.data[4*slot:])
+	if h == NilHandle && alloc {
+		nh, err := fs.be.Alloc(ino.List, ino.Last)
+		if err != nil {
+			return NilHandle, err
+		}
+		ino.Last = nh
+		if err := fs.cache.install(nh, make([]byte, fs.sb.BlockSize), true); err != nil {
+			return NilHandle, err
+		}
+		if e, err = fs.cache.get(ind, fs.sb.BlockSize); err != nil {
+			return NilHandle, err
+		}
+		put32(e.data[4*slot:], nh)
+		fs.cache.markDirty(ind)
+		if err := fs.putInode(n, ino); err != nil {
+			return NilHandle, err
+		}
+		return nh, nil
+	}
+	return h, nil
+}
+
+// bmapOffset resolves a block index by its offset in the file's list.
+// Absent blocks are allocated densely up to idx (a "sparse" write fills
+// the gap with zero blocks, which cost no storage until written).
+func (fs *FS) bmapOffset(n uint32, ino *inode, idx int, alloc bool) (Handle, error) {
+	if idx < int(ino.Blocks) {
+		return fs.be.BlockAt(ino.List, idx)
+	}
+	if !alloc {
+		return NilHandle, nil
+	}
+	var h Handle
+	for int(ino.Blocks) <= idx {
+		nh, err := fs.be.Alloc(ino.List, ino.Last)
+		if err != nil {
+			return NilHandle, err
+		}
+		if err := fs.cache.install(nh, make([]byte, fs.sb.BlockSize), true); err != nil {
+			return NilHandle, err
+		}
+		ino.Last = nh
+		ino.Blocks++
+		h = nh
+	}
+	if err := fs.putInode(n, ino); err != nil {
+		return NilHandle, err
+	}
+	return h, nil
+}
+
+// maxOffsetFileBlocks bounds offset-addressed files only by the address
+// space, not by zone-pointer fan-out.
+
+// fileHandles collects every block handle of the file in file order:
+// data blocks first-to-last with their indirect blocks interleaved in
+// allocation order. Used by truncation for hinted freeing.
+func (fs *FS) fileHandles(ino *inode) ([]Handle, error) {
+	var out []Handle
+	if fs.sb.OffsetFiles {
+		for i := 0; i < int(ino.Blocks); i++ {
+			h, err := fs.be.BlockAt(ino.List, i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, h)
+		}
+		return out, nil
+	}
+	p := fs.ptrsPerBlock()
+	for i := 0; i < nDirect; i++ {
+		if ino.Zones[i] != NilHandle {
+			out = append(out, ino.Zones[i])
+		}
+	}
+	if ind := ino.Zones[znIndirect]; ind != NilHandle {
+		out = append(out, ind)
+		e, err := fs.cache.get(ind, fs.sb.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < p; s++ {
+			if h := le32(e.data[4*s:]); h != NilHandle {
+				out = append(out, h)
+			}
+		}
+	}
+	if dbl := ino.Zones[znDouble]; dbl != NilHandle {
+		out = append(out, dbl)
+		// Copy the slot table: cache entries may be evicted while we walk.
+		e, err := fs.cache.get(dbl, fs.sb.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		slots := make([]Handle, p)
+		for s := 0; s < p; s++ {
+			slots[s] = le32(e.data[4*s:])
+		}
+		for _, ind := range slots {
+			if ind == NilHandle {
+				continue
+			}
+			out = append(out, ind)
+			ie, err := fs.cache.get(ind, fs.sb.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			for s := 0; s < p; s++ {
+				if h := le32(ie.data[4*s:]); h != NilHandle {
+					out = append(out, h)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// freeAllBlocks releases every block of a file. When dropList is set (the
+// file itself is going away) a per-file list is dropped in one LD call;
+// otherwise blocks are freed individually. On a per-file list the file's
+// blocks sit in file order, so freeing front-to-back removes the list head
+// each time — O(1) per DeleteBlock; on the shared list, freeing back-to-
+// front with predecessor hints achieves the same (paper §2.2).
+func (fs *FS) freeAllBlocks(ino *inode, dropList bool) error {
+	handles, err := fs.fileHandles(ino)
+	if err != nil {
+		return err
+	}
+	for _, h := range handles {
+		fs.cache.drop(h)
+	}
+	switch {
+	case ino.List != 0 && dropList:
+		if err := fs.be.DeleteFileList(ino.List); err != nil {
+			return err
+		}
+		ino.List = 0
+	case ino.List != 0:
+		// Front-to-back: each block is the current list head.
+		for _, h := range handles {
+			if err := fs.be.Free(h, ino.List, NilHandle); err != nil {
+				return err
+			}
+		}
+	default:
+		for i := len(handles) - 1; i >= 0; i-- {
+			hint := NilHandle
+			if i > 0 {
+				hint = handles[i-1]
+			}
+			if err := fs.be.Free(handles[i], ino.List, hint); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range ino.Zones {
+		ino.Zones[i] = NilHandle
+	}
+	ino.Size = 0
+	ino.Last = NilHandle
+	ino.Blocks = 0
+	return nil
+}
+
+// truncateInode shrinks (or zero-extends) the file to size bytes.
+func (fs *FS) truncateInode(n uint32, ino *inode, size int64) error {
+	if size < 0 || size > int64(fs.maxFileBlocks())*int64(fs.sb.BlockSize) {
+		return vfs.ErrInvalid
+	}
+	if size >= int64(ino.Size) {
+		ino.Size = uint32(size)
+		ino.MTime = fs.be.Now()
+		return fs.putInode(n, ino)
+	}
+	if size == 0 {
+		if err := fs.freeAllBlocks(ino, false); err != nil {
+			return err
+		}
+		ino.MTime = fs.be.Now()
+		return fs.putInode(n, ino)
+	}
+	// Partial truncation: free data blocks past the boundary in reverse
+	// order; indirect blocks are kept (they simply carry nil slots). This
+	// trades a little space for simplicity, as several classic file
+	// systems did.
+	bs := int64(fs.sb.BlockSize)
+	firstDead := int((size + bs - 1) / bs)
+	lastLive := int((int64(ino.Size) + bs - 1) / bs)
+	if fs.sb.OffsetFiles && int(ino.Blocks) > lastLive {
+		lastLive = int(ino.Blocks) // sparse pre-allocations past the size
+	}
+	var handles []Handle
+	var idxs []int
+	for i := firstDead; i < lastLive; i++ {
+		h, err := fs.bmap(n, ino, i, false)
+		if err != nil {
+			return err
+		}
+		if h != NilHandle {
+			handles = append(handles, h)
+			idxs = append(idxs, i)
+		}
+	}
+	for i := len(handles) - 1; i >= 0; i-- {
+		hint := NilHandle
+		if i > 0 {
+			hint = handles[i-1]
+		}
+		fs.cache.drop(handles[i])
+		if err := fs.be.Free(handles[i], ino.List, hint); err != nil {
+			return err
+		}
+		if fs.sb.OffsetFiles {
+			ino.Blocks--
+			continue
+		}
+		if err := fs.clearZoneSlot(n, ino, idxs[i]); err != nil {
+			return err
+		}
+	}
+	if fs.sb.OffsetFiles && firstDead > 0 {
+		if h, err := fs.bmap(n, ino, firstDead-1, false); err == nil {
+			ino.Last = h
+		}
+	}
+	// Zero the stale tail of the boundary block so a later re-extension
+	// reads zeros, and repair the allocation hint, which may have pointed
+	// at a block just freed.
+	if tail := int(size % bs); tail != 0 {
+		if h, err := fs.bmap(n, ino, int(size/bs), false); err == nil && h != NilHandle {
+			e, err := fs.cache.get(h, fs.sb.BlockSize)
+			if err != nil {
+				return err
+			}
+			for i := tail; i < len(e.data); i++ {
+				e.data[i] = 0
+			}
+			fs.cache.markDirty(h)
+		}
+	}
+	ino.Last = NilHandle
+	if firstDead > 0 {
+		if h, err := fs.bmap(n, ino, firstDead-1, false); err == nil {
+			ino.Last = h
+		}
+	}
+	ino.Size = uint32(size)
+	ino.MTime = fs.be.Now()
+	return fs.putInode(n, ino)
+}
+
+// clearZoneSlot nils the mapping for file block idx.
+func (fs *FS) clearZoneSlot(n uint32, ino *inode, idx int) error {
+	p := fs.ptrsPerBlock()
+	if idx < nDirect {
+		ino.Zones[idx] = NilHandle
+		return fs.putInode(n, ino)
+	}
+	idx -= nDirect
+	var ind Handle
+	var slot int
+	if idx < p {
+		ind = ino.Zones[znIndirect]
+		slot = idx
+	} else {
+		idx -= p
+		dbl := ino.Zones[znDouble]
+		if dbl == NilHandle {
+			return nil
+		}
+		e, err := fs.cache.get(dbl, fs.sb.BlockSize)
+		if err != nil {
+			return err
+		}
+		ind = le32(e.data[4*(idx/p):])
+		slot = idx % p
+	}
+	if ind == NilHandle {
+		return nil
+	}
+	e, err := fs.cache.get(ind, fs.sb.BlockSize)
+	if err != nil {
+		return err
+	}
+	put32(e.data[4*slot:], NilHandle)
+	fs.cache.markDirty(ind)
+	return nil
+}

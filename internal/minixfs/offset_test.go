@@ -1,0 +1,148 @@
+package minixfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/fstest"
+	"repro/internal/lld"
+	"repro/internal/minixfs"
+	"repro/internal/vfs"
+)
+
+func newOffsetFS(t *testing.T, offset bool) (*minixfs.FS, *lld.LLD, *disk.Disk) {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 256 * 1024
+	if err := lld.Format(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := minixfs.FormatLD(l, 4096, minixfs.LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := minixfs.Mkfs(be, minixfs.Config{
+		BlockSize: 4096, NInodes: 1024, CacheBytes: 1 << 20, OffsetFiles: offset,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, l, d
+}
+
+// TestOffsetFilesConformance runs the full black-box suite with offset
+// addressing enabled: §5.4 semantics must be indistinguishable from the
+// zone-pointer organization.
+func TestOffsetFilesConformance(t *testing.T) {
+	fstest.Conformance(t, func(t *testing.T) vfs.FileSystem {
+		fs, _, _ := newOffsetFS(t, true)
+		return fs
+	})
+}
+
+// TestOffsetFilesEliminateIndirectBlocks is the §5.4 claim: with offset
+// addressing, writing a file deep into what would be the indirect and
+// double-indirect ranges costs no pointer-block writes at all.
+func TestOffsetFilesEliminateIndirectBlocks(t *testing.T) {
+	const fileSize = 6 << 20 // spans direct, indirect, and double-indirect
+	counts := make(map[bool]int64)
+	for _, offset := range []bool{false, true} {
+		fs, l, _ := newOffsetFS(t, offset)
+		f, err := fs.Create("/deep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := bytes.Repeat([]byte{7}, 64*1024)
+		for off := int64(0); off < fileSize; off += int64(len(chunk)) {
+			if _, err := f.WriteAt(chunk, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		counts[offset] = l.Stats().BlocksWritten
+		// Verify contents survive.
+		g, _ := fs.Open("/deep")
+		buf := make([]byte, len(chunk))
+		if _, err := g.ReadAt(buf, fileSize-int64(len(chunk))); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, chunk) {
+			t.Fatal("deep read mismatch")
+		}
+		g.Close()
+		fs.Close()
+	}
+	dataBlocks := int64(fileSize / 4096)
+	if counts[true] >= counts[false] {
+		t.Fatalf("offset addressing wrote %d blocks, zones wrote %d — no indirect-block savings",
+			counts[true], counts[false])
+	}
+	// The savings must be at least the pointer blocks the zone organization
+	// needs for a 6-MB file: one indirect plus a double-indirect plus its
+	// second-level blocks.
+	if counts[false]-counts[true] < 3 {
+		t.Fatalf("savings too small: offset=%d zones=%d (data=%d)", counts[true], counts[false], dataBlocks)
+	}
+}
+
+// TestOffsetFilesSurviveCrash: offset files recover like everything else
+// (list order is authoritative, rebuilt by the sweep).
+func TestOffsetFilesSurviveCrash(t *testing.T) {
+	fs, l, d := newOffsetFS(t, true)
+	payload := bytes.Repeat([]byte{0xD4}, 200000)
+	f, err := fs.Create("/crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 256 * 1024
+	l2, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be2, err := minixfs.OpenLD(l2, 4096, minixfs.LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := minixfs.Open(be2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.Size())
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("offset file corrupted across crash")
+	}
+	problems, err := fs2.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("fsck: %v", problems)
+	}
+}

@@ -1,0 +1,162 @@
+package minixfs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lld"
+	"repro/internal/minixfs"
+)
+
+// TestBitmapRemount: the classic backend's bitmap and the file system's
+// superblock survive an unmount/mount cycle on the same disk.
+func TestBitmapRemount(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	be, err := minixfs.FormatBitmap(d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := minixfs.Mkfs(be, minixfs.Config{BlockSize: 4096, NInodes: 1024, CacheBytes: 256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x3C}, 100000)
+	f, err := fs.Create("/kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount.
+	be2, err := minixfs.OpenBitmap(d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := minixfs.Open(be2, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("/kept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.Size())
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("file corrupted across remount")
+	}
+	g.Close()
+
+	// The reloaded bitmap must refuse to double-allocate: creating new
+	// files works and does not corrupt the old one.
+	for i := 0; i < 20; i++ {
+		h, err := fs2.Create(fmt.Sprintf("/new%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WriteAt(bytes.Repeat([]byte{byte(i)}, 20000), 0); err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+	}
+	buf2 := make([]byte, len(payload))
+	g2, _ := fs2.Open("/kept")
+	g2.ReadAt(buf2, 0)
+	g2.Close()
+	if !bytes.Equal(buf2, payload) {
+		t.Fatal("old file overwritten by post-remount allocations")
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A mismatched block size is rejected.
+	if _, err := minixfs.OpenBitmap(d, 8192); err == nil {
+		t.Fatal("open with wrong block size accepted")
+	}
+}
+
+// TestLDRemountAfterCleanShutdown: MINIX LLD across an LD clean shutdown
+// (checkpoint fast restart) keeps the whole tree.
+func TestLDRemountAfterCleanShutdown(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(32 << 20))
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = 128 * 1024
+	if err := lld.Format(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := minixfs.FormatLD(l, 4096, minixfs.LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := minixfs.Mkfs(be, minixfs.Config{BlockSize: 4096, NInodes: 512, CacheBytes: 256 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		f, err := fs.Create(fmt.Sprintf("/dir/f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(bytes.Repeat([]byte{byte(i)}, 5000), 0); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Shutdown(true); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := lld.Open(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Stats().RecoverySweepSegments != 0 {
+		t.Fatal("clean restart swept")
+	}
+	be2, err := minixfs.OpenLD(l2, 4096, minixfs.LDConfig{PerFileLists: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := minixfs.Open(be2, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs2.ReadDir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 30 {
+		t.Fatalf("%d files after remount", len(infos))
+	}
+	g, err := fs2.Open("/dir/f07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, g.Size())
+	g.ReadAt(buf, 0)
+	g.Close()
+	if len(buf) != 5000 || buf[0] != 7 {
+		t.Fatalf("file contents wrong: len=%d", len(buf))
+	}
+}

@@ -1,0 +1,145 @@
+// Package spritelfs reproduces the analytic write-cost comparison of
+// Table 6 in "The Logical Disk" (§5.1): the number of blocks each file
+// system writes per operation, expressed in the paper's symbolic terms.
+//
+// Sprite LFS stores physical disk addresses in its data structures, so
+// moving or rewriting a block cascades: the i-node changes (its address
+// table points at the new location), blocks of the i-node map change, and
+// for large files indirect and double-indirect blocks change too. MINIX
+// LLD stores logical block numbers, which never change, so none of those
+// cascading updates occur; i-nodes are still written where POSIX requires
+// a recoverable modification time.
+//
+// The symbolic parameters:
+//
+//	ε ("epsilon") — the cost of writing one dirty i-node. Both systems
+//	   collect dirty i-nodes into shared blocks, so ε is much less than a
+//	   block.
+//	δ ("delta")   — the per-operation share of an i-node map block in
+//	   Sprite LFS (the map is written at checkpoints, so many operations
+//	   share each block); 0 ≤ δ ≤ 1. MINIX LLD has no i-node map.
+package spritelfs
+
+import "fmt"
+
+// Cost is a symbolic block-write count of the form blocks + nDelta·δ + nEpsilon·ε.
+type Cost struct {
+	Blocks   float64 // whole data/metadata blocks
+	NDelta   int     // i-node map block shares (Sprite LFS only)
+	NEpsilon int     // dirty i-node writes
+}
+
+// String renders the cost in the paper's notation, e.g. "1+2δ+2ε".
+func (c Cost) String() string {
+	s := fmt.Sprintf("%g", c.Blocks)
+	if c.NDelta == 1 {
+		s += "+δ"
+	} else if c.NDelta > 1 {
+		s += fmt.Sprintf("+%dδ", c.NDelta)
+	}
+	if c.NEpsilon == 1 {
+		s += "+ε"
+	} else if c.NEpsilon > 1 {
+		s += fmt.Sprintf("+%dε", c.NEpsilon)
+	}
+	return s
+}
+
+// Eval substitutes numeric values for δ and ε.
+func (c Cost) Eval(delta, epsilon float64) float64 {
+	return c.Blocks + float64(c.NDelta)*delta + float64(c.NEpsilon)*epsilon
+}
+
+// FileDepth classifies how deep a file's block pointers reach.
+type FileDepth int
+
+// Depths for Overwrite and Append.
+const (
+	DepthDirect FileDepth = iota // block reached from the i-node
+	DepthIndirect
+	DepthDouble
+)
+
+// CreateOrDeleteSprite returns Sprite LFS's cost to create an empty file in
+// an existing directory or delete an empty file: the directory data block,
+// two dirty i-nodes, and two i-node map block shares (paper: 1+2δ+2ε).
+func CreateOrDeleteSprite() Cost { return Cost{Blocks: 1, NDelta: 2, NEpsilon: 2} }
+
+// CreateOrDeleteLLD returns MINIX LLD's cost for the same operation: the
+// directory block and two dirty i-nodes, no map blocks (paper: 1+2ε).
+func CreateOrDeleteLLD() Cost { return Cost{Blocks: 1, NEpsilon: 2} }
+
+// OverwriteSprite returns Sprite LFS's cost to overwrite one existing data
+// block: the block itself plus the cascade — i-node (its block pointer
+// changed), i-node map share, and for deeper files the indirect and
+// double-indirect blocks (paper: 1+δ+ε, 2+δ+ε or 3+δ+ε).
+func OverwriteSprite(depth FileDepth) Cost {
+	return Cost{Blocks: 1 + float64(depth), NDelta: 1, NEpsilon: 1}
+}
+
+// OverwriteLLD returns MINIX LLD's cost to overwrite one block: the block
+// and the i-node (mtime), regardless of file depth — logical addresses do
+// not change, so no pointer blocks are rewritten (paper: always 1+ε).
+func OverwriteLLD(depth FileDepth) Cost { return Cost{Blocks: 1, NEpsilon: 1} }
+
+// AppendSprite returns Sprite LFS's cost to append one block (paper:
+// 1+δ+ε, 2+δ+ε or 3+δ+ε depending on depth).
+func AppendSprite(depth FileDepth) Cost {
+	return Cost{Blocks: 1 + float64(depth), NDelta: 1, NEpsilon: 1}
+}
+
+// AppendLLD returns MINIX LLD's cost to append one block: usually the
+// block and the i-node; appending into the indirect range also writes the
+// indirect block (a new logical pointer is inserted); only when a brand
+// new indirect block must be created under the double-indirect block does
+// a third block get written (paper: 1+ε or 2+ε, rarely 3+ε).
+func AppendLLD(depth FileDepth, newIndirect bool) Cost {
+	switch {
+	case depth == DepthDirect:
+		return Cost{Blocks: 1, NEpsilon: 1}
+	case depth == DepthDouble && newIndirect:
+		return Cost{Blocks: 3, NEpsilon: 1}
+	default:
+		return Cost{Blocks: 2, NEpsilon: 1}
+	}
+}
+
+// Row is one line of Table 6.
+type Row struct {
+	Operation string
+	Sprite    []Cost
+	LLD       []Cost
+}
+
+// Table6 returns the full symbolic comparison.
+func Table6() []Row {
+	return []Row{
+		{
+			Operation: "Creating or deleting a file",
+			Sprite:    []Cost{CreateOrDeleteSprite()},
+			LLD:       []Cost{CreateOrDeleteLLD()},
+		},
+		{
+			Operation: "Overwriting a block",
+			Sprite: []Cost{
+				OverwriteSprite(DepthDirect),
+				OverwriteSprite(DepthIndirect),
+				OverwriteSprite(DepthDouble),
+			},
+			LLD: []Cost{OverwriteLLD(DepthDirect)},
+		},
+		{
+			Operation: "Appending a block",
+			Sprite: []Cost{
+				AppendSprite(DepthDirect),
+				AppendSprite(DepthIndirect),
+				AppendSprite(DepthDouble),
+			},
+			LLD: []Cost{
+				AppendLLD(DepthDirect, false),
+				AppendLLD(DepthIndirect, false),
+				AppendLLD(DepthDouble, true),
+			},
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package spritelfs
+
+import "testing"
+
+func TestPaperNotation(t *testing.T) {
+	cases := []struct {
+		c    Cost
+		want string
+	}{
+		{CreateOrDeleteSprite(), "1+2δ+2ε"},
+		{CreateOrDeleteLLD(), "1+2ε"},
+		{OverwriteSprite(DepthDirect), "1+δ+ε"},
+		{OverwriteSprite(DepthIndirect), "2+δ+ε"},
+		{OverwriteSprite(DepthDouble), "3+δ+ε"},
+		{OverwriteLLD(DepthDouble), "1+ε"},
+		{AppendSprite(DepthDirect), "1+δ+ε"},
+		{AppendLLD(DepthDirect, false), "1+ε"},
+		{AppendLLD(DepthIndirect, false), "2+ε"},
+		{AppendLLD(DepthDouble, true), "3+ε"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestLLDNeverCostsMoreThanSprite(t *testing.T) {
+	// For every δ,ε in range and every operation/depth, MINIX LLD's cost
+	// must be less than or equal to Sprite LFS's (Table 6's point).
+	for _, delta := range []float64{0, 0.25, 0.5, 1} {
+		for _, eps := range []float64{0.01, 0.1, 0.3} {
+			if CreateOrDeleteLLD().Eval(delta, eps) > CreateOrDeleteSprite().Eval(delta, eps) {
+				t.Fatal("create: LLD costs more")
+			}
+			for _, d := range []FileDepth{DepthDirect, DepthIndirect, DepthDouble} {
+				if OverwriteLLD(d).Eval(delta, eps) > OverwriteSprite(d).Eval(delta, eps) {
+					t.Fatalf("overwrite depth %d: LLD costs more", d)
+				}
+				if AppendLLD(d, d == DepthDouble).Eval(delta, eps) > AppendSprite(d).Eval(delta, eps) {
+					t.Fatalf("append depth %d: LLD costs more", d)
+				}
+			}
+		}
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Operation == "" || len(rows[1].Sprite) != 3 || len(rows[2].LLD) != 3 {
+		t.Fatalf("unexpected table shape: %+v", rows)
+	}
+}
+
+func TestEval(t *testing.T) {
+	c := Cost{Blocks: 2, NDelta: 1, NEpsilon: 2}
+	if got := c.Eval(0.5, 0.1); got != 2.7 {
+		t.Fatalf("Eval=%v", got)
+	}
+}

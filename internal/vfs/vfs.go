@@ -1,0 +1,99 @@
+// Package vfs defines the minimal file-system interface shared by the
+// three file systems in this reproduction (MINIX, MINIX LLD, and the
+// FFS-like SunOS stand-in), so that one benchmark driver can run the
+// paper's microbenchmarks against all of them.
+package vfs
+
+import "errors"
+
+// Errors common to all file systems.
+var (
+	ErrNotExist    = errors.New("vfs: file does not exist")
+	ErrExist       = errors.New("vfs: file already exists")
+	ErrNotDir      = errors.New("vfs: not a directory")
+	ErrIsDir       = errors.New("vfs: is a directory")
+	ErrNotEmpty    = errors.New("vfs: directory not empty")
+	ErrNoSpace     = errors.New("vfs: no space left on device")
+	ErrNameTooLong = errors.New("vfs: name too long")
+	ErrInvalid     = errors.New("vfs: invalid argument")
+	ErrClosed      = errors.New("vfs: file system closed")
+)
+
+// FileInfo describes a file, directory entry style.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+	Inode uint32
+	Links int
+	MTime uint32 // seconds, file-system logical time
+}
+
+// File is an open file with pread/pwrite semantics.
+type File interface {
+	// ReadAt reads up to len(p) bytes at offset off. It returns the number
+	// of bytes read; n < len(p) with a nil error means end of file.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes p at offset off, extending the file as needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Truncate changes the file size, freeing blocks beyond the new end.
+	Truncate(size int64) error
+	// Size returns the current file size.
+	Size() int64
+	// Sync flushes this file's dirty state to the disk.
+	Sync() error
+	// Close releases the handle. Files must be closed.
+	Close() error
+}
+
+// FileSystem is the common interface the benchmark harness drives. Paths
+// are slash-separated and absolute ("/dir/file").
+type FileSystem interface {
+	// Create creates (or truncates) a regular file and opens it.
+	Create(path string) (File, error)
+	// Open opens an existing regular file.
+	Open(path string) (File, error)
+	// Unlink removes a regular file.
+	Unlink(path string) error
+	// Mkdir creates a directory.
+	Mkdir(path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]FileInfo, error)
+	// Rename moves a file or directory.
+	Rename(oldPath, newPath string) error
+	// Stat describes a file or directory.
+	Stat(path string) (FileInfo, error)
+	// Sync makes all completed operations durable (the paper's sync).
+	Sync() error
+	// DropCaches empties the buffer cache without losing dirty state
+	// (it syncs first). The paper flushed caches between benchmark phases
+	// by writing a huge file; the simulator does it directly.
+	DropCaches() error
+	// Close syncs and shuts the file system down.
+	Close() error
+}
+
+// SplitPath splits an absolute slash path into components, rejecting
+// relative paths and empty components.
+func SplitPath(path string) ([]string, error) {
+	if len(path) == 0 || path[0] != '/' {
+		return nil, ErrInvalid
+	}
+	var parts []string
+	start := 1
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			if i > start {
+				part := path[start:i]
+				if part == "." || part == ".." {
+					return nil, ErrInvalid
+				}
+				parts = append(parts, part)
+			}
+			start = i + 1
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,47 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"/", []string{}, false},
+		{"/a", []string{"a"}, false},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"/a//b/", []string{"a", "b"}, false},
+		{"///", []string{}, false},
+		{"", nil, true},
+		{"relative", nil, true},
+		{"/a/./b", nil, true},
+		{"/a/../b", nil, true},
+	}
+	for _, c := range cases {
+		got, err := SplitPath(c.in)
+		if c.err {
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("SplitPath(%q): err=%v, want ErrInvalid", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SplitPath(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("SplitPath(%q)=%v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitPath(%q)=%v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

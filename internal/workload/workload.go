@@ -1,0 +1,265 @@
+// Package workload implements the microbenchmarks of the paper's Section 4
+// — the same ones Rosenblum and Ousterhout used for Sprite LFS:
+//
+//   - small-file I/O: create, read and delete N files of a given size in
+//     one directory (paper: 10,000 1-KB files and 1,000 10-KB files);
+//   - large-file I/O: write an 80-MB file sequentially, read it
+//     sequentially, write 80 MB randomly, read 80 MB randomly, and read
+//     sequentially again (in 8-KB chunks).
+//
+// All timings come from the simulated disk's virtual clock; the file cache
+// is flushed between phases exactly as the paper flushed it (they wrote a
+// huge file; the simulator drops the cache directly). Application and pipe
+// overheads are excluded, as in the paper's methodology.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/vfs"
+)
+
+// Clock abstracts the virtual time source (the simulated disk).
+type Clock interface {
+	Now() time.Duration
+}
+
+var _ Clock = (*disk.Disk)(nil)
+
+// SmallFileResult reports files/second for the three phases.
+type SmallFileResult struct {
+	NFiles   int
+	FileSize int
+	Create   float64 // files/s
+	Read     float64
+	Delete   float64
+}
+
+// SmallFile runs the small-file benchmark: create NFiles of size fileSize
+// in one directory, read them all, delete them all, flushing the cache
+// between phases.
+func SmallFile(fs vfs.FileSystem, clk Clock, nFiles, fileSize int) (SmallFileResult, error) {
+	res := SmallFileResult{NFiles: nFiles, FileSize: fileSize}
+	payload := make([]byte, fileSize)
+	for i := range payload {
+		payload[i] = byte(i*7 + 13)
+	}
+
+	phase := func(work func() error) (float64, error) {
+		if err := fs.DropCaches(); err != nil {
+			return 0, err
+		}
+		start := clk.Now()
+		if err := work(); err != nil {
+			return 0, err
+		}
+		elapsed := clk.Now() - start
+		if elapsed <= 0 {
+			return 0, fmt.Errorf("workload: phase took no virtual time")
+		}
+		return float64(nFiles) / elapsed.Seconds(), nil
+	}
+
+	var err error
+	res.Create, err = phase(func() error {
+		for i := 0; i < nFiles; i++ {
+			f, err := fs.Create(name(i))
+			if err != nil {
+				return fmt.Errorf("create %d: %w", i, err)
+			}
+			if _, err := f.WriteAt(payload, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("write %d: %w", i, err)
+			}
+			f.Close()
+		}
+		return fs.Sync()
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Read, err = phase(func() error {
+		buf := make([]byte, fileSize)
+		for i := 0; i < nFiles; i++ {
+			f, err := fs.Open(name(i))
+			if err != nil {
+				return fmt.Errorf("open %d: %w", i, err)
+			}
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("read %d: %w", i, err)
+			}
+			f.Close()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Delete, err = phase(func() error {
+		for i := 0; i < nFiles; i++ {
+			if err := fs.Unlink(name(i)); err != nil {
+				return fmt.Errorf("unlink %d: %w", i, err)
+			}
+		}
+		return fs.Sync()
+	})
+	return res, err
+}
+
+func name(i int) string { return fmt.Sprintf("/sf-%06d", i) }
+
+// SmallFileCreateOnly creates nFiles of fileSize without timing; used to
+// populate a file system before recovery experiments.
+func SmallFileCreateOnly(fs vfs.FileSystem, nFiles, fileSize int) (int, error) {
+	payload := make([]byte, fileSize)
+	for i := 0; i < nFiles; i++ {
+		f, err := fs.Create(name(i))
+		if err != nil {
+			return i, err
+		}
+		if _, err := f.WriteAt(payload, 0); err != nil {
+			f.Close()
+			return i, err
+		}
+		f.Close()
+	}
+	return nFiles, fs.Sync()
+}
+
+// LargeFileResult reports KB/s for the five phases.
+type LargeFileResult struct {
+	FileBytes int64
+	ChunkSize int
+	WriteSeq  float64 // KB/s
+	ReadSeq   float64
+	WriteRand float64
+	ReadRand  float64
+	ReReadSeq float64
+}
+
+// LargeFile runs the five-phase large-file benchmark on a newly created
+// file of fileBytes, in chunkSize units (paper: 80 MB in 8-KB chunks).
+func LargeFile(fs vfs.FileSystem, clk Clock, fileBytes int64, chunkSize int, seed int64) (LargeFileResult, error) {
+	res := LargeFileResult{FileBytes: fileBytes, ChunkSize: chunkSize}
+	nChunks := int(fileBytes / int64(chunkSize))
+	payload := make([]byte, chunkSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	f, err := fs.Create("/large-file")
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+
+	phase := func(work func() error) (float64, error) {
+		if err := fs.DropCaches(); err != nil {
+			return 0, err
+		}
+		start := clk.Now()
+		if err := work(); err != nil {
+			return 0, err
+		}
+		elapsed := clk.Now() - start
+		if elapsed <= 0 {
+			return 0, fmt.Errorf("workload: phase took no virtual time")
+		}
+		return float64(fileBytes) / 1024 / elapsed.Seconds(), nil
+	}
+
+	// Phase 1: sequential write (plus sync so the data is really on disk).
+	res.WriteSeq, err = phase(func() error {
+		for i := 0; i < nChunks; i++ {
+			if _, err := f.WriteAt(payload, int64(i)*int64(chunkSize)); err != nil {
+				return err
+			}
+		}
+		return fs.Sync()
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 2: sequential read.
+	buf := make([]byte, chunkSize)
+	res.ReadSeq, err = phase(func() error {
+		for i := 0; i < nChunks; i++ {
+			if _, err := f.ReadAt(buf, int64(i)*int64(chunkSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 3: random writes covering the same total volume.
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(nChunks)
+	res.WriteRand, err = phase(func() error {
+		for _, c := range order {
+			if _, err := f.WriteAt(payload, int64(c)*int64(chunkSize)); err != nil {
+				return err
+			}
+		}
+		return fs.Sync()
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 4: random reads.
+	order = rng.Perm(nChunks)
+	res.ReadRand, err = phase(func() error {
+		for _, c := range order {
+			if _, err := f.ReadAt(buf, int64(c)*int64(chunkSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 5: sequential re-read (after the random writes scrambled the
+	// physical layout under a log-structured disk).
+	res.ReReadSeq, err = phase(func() error {
+		for i := 0; i < nChunks; i++ {
+			if _, err := f.ReadAt(buf, int64(i)*int64(chunkSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return res, err
+}
+
+// HotCold generates a Ruemmler-Wilkes-style skewed write pattern over
+// nBlocks block indices: hotFrac of the blocks receive hotWrites of the
+// traffic (the paper cites 1% of blocks receiving 90% of writes). The
+// sequence is deterministic for a seed.
+func HotCold(nBlocks int, hotFrac, hotWrites float64, nOps int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	hot := int(float64(nBlocks) * hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	out := make([]int, nOps)
+	for i := range out {
+		if rng.Float64() < hotWrites {
+			out[i] = rng.Intn(hot)
+		} else {
+			out[i] = hot + rng.Intn(nBlocks-hot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ffs"
+	"repro/internal/workload"
+)
+
+func newFS(t *testing.T) (*ffs.FS, *disk.Disk) {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	fs, err := ffs.Mkfs(d, ffs.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, d
+}
+
+func TestSmallFileBenchmark(t *testing.T) {
+	fs, d := newFS(t)
+	defer fs.Close()
+	r, err := workload.SmallFile(fs, d, 100, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Create <= 0 || r.Read <= 0 || r.Delete <= 0 {
+		t.Fatalf("non-positive rates: %+v", r)
+	}
+	if r.NFiles != 100 || r.FileSize != 1024 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	// The delete phase must leave the directory empty so the benchmark is
+	// rerunnable.
+	infos, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("%d files left after delete phase", len(infos))
+	}
+	// And it must be rerunnable.
+	if _, err := workload.SmallFile(fs, d, 50, 1024); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+func TestLargeFileBenchmark(t *testing.T) {
+	fs, d := newFS(t)
+	defer fs.Close()
+	r, err := workload.LargeFile(fs, d, 4<<20, 8192, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"write seq":   r.WriteSeq,
+		"read seq":    r.ReadSeq,
+		"write rand":  r.WriteRand,
+		"read rand":   r.ReadRand,
+		"re-read seq": r.ReReadSeq,
+	} {
+		if v <= 0 {
+			t.Errorf("%s rate %v", name, v)
+		}
+	}
+	st, err := fs.Stat("/large-file")
+	if err != nil || st.Size != 4<<20 {
+		t.Fatalf("file after benchmark: %+v %v", st, err)
+	}
+}
+
+func TestSmallFileCreateOnly(t *testing.T) {
+	fs, _ := newFS(t)
+	defer fs.Close()
+	n, err := workload.SmallFileCreateOnly(fs, 40, 512)
+	if err != nil || n != 40 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	infos, _ := fs.ReadDir("/")
+	if len(infos) != 40 {
+		t.Fatalf("%d files", len(infos))
+	}
+}
+
+func TestHotColdProperties(t *testing.T) {
+	pat := workload.HotCold(10000, 0.01, 0.9, 50000, 7)
+	if len(pat) != 50000 {
+		t.Fatalf("%d ops", len(pat))
+	}
+	hot := 0
+	for _, b := range pat {
+		if b < 0 || b >= 10000 {
+			t.Fatalf("block %d out of range", b)
+		}
+		if b < 100 {
+			hot++
+		}
+	}
+	if f := float64(hot) / 50000; f < 0.87 || f > 0.93 {
+		t.Fatalf("hot traffic fraction %.3f", f)
+	}
+	// Determinism.
+	pat2 := workload.HotCold(10000, 0.01, 0.9, 50000, 7)
+	for i := range pat {
+		if pat[i] != pat2[i] {
+			t.Fatal("HotCold not deterministic")
+		}
+	}
+	// Degenerate hot set still works.
+	tiny := workload.HotCold(3, 0.0001, 0.9, 100, 1)
+	for _, b := range tiny {
+		if b < 0 || b >= 3 {
+			t.Fatalf("tiny block %d", b)
+		}
+	}
+}
