@@ -10,6 +10,14 @@
 //
 // Results are printed as paper-style tables; throughput numbers come from
 // the simulated disk's virtual clock.
+//
+// The LD-level microbenchmarks (small-file create/read/delete, large-file
+// write) also run over the netld wire against a live ldserver, or against
+// an equivalent in-process LLD for comparison; these report wall time,
+// since the point is to measure what the network adds:
+//
+//	ldbench -remote localhost:7093   # microbenchmarks against ldserver
+//	ldbench -micro                   # same suite, in-process LLD
 package main
 
 import (
@@ -18,19 +26,78 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/harness"
+	"repro/internal/ld"
+	"repro/internal/ldmicro"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
 )
+
+// runMicro executes the LD-level microbenchmark suite against d.
+func runMicro(d ld.Disk, label string, files int) error {
+	fmt.Printf("# LD microbenchmarks (%s) — wall time, %d small files\n", label, files)
+	results, err := ldmicro.Run(d, ldmicro.Config{SmallFiles: files})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+// localMicroDisk builds the in-process LLD that mirrors ldserver's
+// default backing store.
+func localMicroDisk() (ld.Disk, error) {
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	o := lld.DefaultOptions()
+	if err := lld.Format(d, o); err != nil {
+		return nil, err
+	}
+	return lld.Open(d, o)
+}
 
 func main() {
 	scale := flag.Int("scale", 10, "divide the paper's workload sizes by this factor (1 = full size)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	remote := flag.String("remote", "", "run LD microbenchmarks against a netld server at this address")
+	micro := flag.Bool("micro", false, "run LD microbenchmarks against an in-process LLD")
+	microFiles := flag.Int("micro-files", 500, "small-file count for the microbenchmarks")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
+
+	if *remote != "" {
+		c, err := client.Dial(*remote, client.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		if err := runMicro(c, "remote "+*remote, *microFiles); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *micro {
+		d, err := localMicroDisk()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runMicro(d, "local in-process LLD", *microFiles); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -1,26 +1,45 @@
 // Command lddump inspects an LLD-formatted disk image: superblock
 // geometry, checkpoint slots, and segment summaries (the on-disk log of
-// LLD's metadata).
+// LLD's metadata). With -remote it inspects a live ldserver instead,
+// walking the logical state (lists, blocks, sizes) through the netld
+// protocol.
 //
 // Usage:
 //
 //	lddump [-v] disk.img
+//	lddump [-v] -remote localhost:7093
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/disk"
 	"repro/internal/lld"
+	"repro/internal/netld/client"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "list every block entry and tuple")
+	verbose := flag.Bool("v", false, "list every block entry and tuple (image) or every block (remote)")
+	remote := flag.String("remote", "", "inspect a live netld server at this address instead of an image")
 	flag.Parse()
+
+	if *remote != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: lddump [-v] -remote <addr>")
+			os.Exit(2)
+		}
+		if err := dumpRemote(os.Stdout, *remote, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lddump [-v] <image>")
+		fmt.Fprintln(os.Stderr, "usage: lddump [-v] <image> | lddump [-v] -remote <addr>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -38,4 +57,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dumpRemote walks a live server's logical state through the LD
+// interface: every list in list-of-lists order, its block count and
+// total bytes, and (verbose) each block's id and stored size.
+func dumpRemote(w io.Writer, addr string, verbose bool) error {
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fmt.Fprintf(w, "remote logical disk at %s\n", addr)
+	fmt.Fprintf(w, "max block size: %d bytes\n", c.MaxBlockSize())
+	lists, err := c.Lists()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "lists: %d\n", len(lists))
+	var totalBlocks, totalBytes int64
+	for _, lid := range lists {
+		ids, err := c.ListBlocks(lid)
+		if err != nil {
+			return fmt.Errorf("list %d: %w", lid, err)
+		}
+		var bytes int64
+		for _, b := range ids {
+			n, err := c.BlockSize(b)
+			if err != nil {
+				return fmt.Errorf("block %d: %w", b, err)
+			}
+			bytes += int64(n)
+		}
+		totalBlocks += int64(len(ids))
+		totalBytes += bytes
+		fmt.Fprintf(w, "  L%-6d %6d blocks %10d bytes\n", lid, len(ids), bytes)
+		if verbose {
+			for _, b := range ids {
+				n, err := c.BlockSize(b)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "    B%-8d %8d bytes\n", b, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "total: %d blocks, %d bytes\n", totalBlocks, totalBytes)
+	return c.Shutdown(true)
 }

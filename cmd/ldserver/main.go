@@ -1,0 +1,157 @@
+// Command ldserver serves a Logical Disk over TCP using the netld
+// protocol. The backing store is a log-structured LLD on the simulated
+// disk, either fresh in memory or loaded from an image created with mkld;
+// with -img the image is written back on clean shutdown.
+//
+// Usage:
+//
+//	ldserver -addr :7093                          # fresh 64M in-memory LLD
+//	ldserver -addr :7093 -img disk.img            # serve an existing image
+//	ldserver -addr :7093 -size 256M -segment 512K # fresh, custom geometry
+//
+// If a client disconnects with an atomic recovery unit open, the server
+// aborts the unit by crash-style recovery (paper §3.3): the log is
+// flushed, the in-memory state discarded, and the disk reopened; the
+// one-sweep recovery drops the unfinished unit. Ctrl-C shuts down
+// gracefully: in-flight requests drain, the LLD checkpoints, and the
+// image (if any) is saved.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/server"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ldserver: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":7093", "TCP listen address")
+	img := flag.String("img", "", "disk image to serve (created if missing); saved on clean shutdown")
+	size := flag.String("size", "64M", "capacity for a fresh disk (K/M/G suffixes)")
+	segment := flag.String("segment", "512K", "LLD segment size for a fresh format")
+	quiet := flag.Bool("q", false, "suppress per-event logging")
+	flag.Parse()
+
+	capacity, err := parseSize(*size)
+	if err != nil {
+		fail("bad size: %v", err)
+	}
+	segSize, err := parseSize(*segment)
+	if err != nil {
+		fail("bad segment size: %v", err)
+	}
+
+	opts := lld.DefaultOptions()
+	opts.SegmentSize = int(segSize)
+
+	var d *disk.Disk
+	needFormat := true
+	if *img != "" {
+		if info, err := os.Stat(*img); err == nil {
+			d = disk.New(disk.DefaultConfig(info.Size()))
+			if err := d.LoadImage(*img); err != nil {
+				fail("load image: %v", err)
+			}
+			needFormat = false
+		}
+	}
+	if d == nil {
+		d = disk.New(disk.DefaultConfig(capacity))
+	}
+	if needFormat {
+		if err := lld.Format(d, opts); err != nil {
+			fail("format: %v", err)
+		}
+	}
+	l, err := lld.Open(d, opts)
+	if err != nil {
+		fail("open LLD: %v", err)
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv := server.New(server.Config{
+		Disk:   l,
+		Reopen: func() (ld.Disk, error) { return lld.Open(d, opts) },
+		Logf:   logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ldserver: serving %s (%d MB, %d segments) on %s\n",
+		describe(*img), d.Capacity()>>20, l.SegmentCount(), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "ldserver: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fail("serve: %v", err)
+	}
+
+	// Graceful exit: checkpoint the LLD (the instance may have been
+	// swapped by an ARU abort, so fetch the current one) and save the
+	// image if asked to.
+	cur := srv.Disk()
+	if err := cur.Shutdown(true); err != nil {
+		fail("clean shutdown: %v", err)
+	}
+	if *img != "" {
+		if err := d.SaveImage(*img); err != nil {
+			fail("save image: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ldserver: image saved to %s\n", *img)
+	}
+	if !*quiet {
+		stats, _ := json.MarshalIndent(srv.Stats(), "", "  ")
+		fmt.Fprintf(os.Stderr, "ldserver: final stats:\n%s\n", stats)
+	}
+}
+
+func describe(img string) string {
+	if img == "" {
+		return "in-memory LLD"
+	}
+	return "LLD image " + img
+}

@@ -1,0 +1,196 @@
+// Package ldmicro holds LD-level microbenchmarks that run against any
+// ld.Disk — in-process or remote over netld. They mirror the paper's
+// small-file and large-file workloads (§4) at the Logical Disk interface
+// rather than through a file system, which makes them the right probe for
+// measuring what a transport adds: each file is one list holding one
+// block, so create/read/delete cost a handful of LD commands.
+//
+// Unlike the harness experiments, which report the simulated disk's
+// virtual clock, these report wall time: the interesting quantity for
+// remote-vs-local comparison is protocol and scheduling overhead, which
+// only wall time sees.
+package ldmicro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ld"
+)
+
+// Config sizes the microbenchmark workloads.
+type Config struct {
+	// SmallFiles is the number of small files (lists) created, read, and
+	// deleted. Default 500.
+	SmallFiles int
+	// SmallSize is the data size per small file. Default 1 KiB.
+	SmallSize int
+	// LargeBytes is the total size of the large-file write. Default 4 MiB.
+	LargeBytes int
+	// LargeBlock is the block size used for the large file. Default 4 KiB.
+	LargeBlock int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SmallFiles <= 0 {
+		c.SmallFiles = 500
+	}
+	if c.SmallSize <= 0 {
+		c.SmallSize = 1024
+	}
+	if c.LargeBytes <= 0 {
+		c.LargeBytes = 4 << 20
+	}
+	if c.LargeBlock <= 0 {
+		c.LargeBlock = 4096
+	}
+	return c
+}
+
+// Result is one benchmark phase's outcome.
+type Result struct {
+	Op      string  // phase name
+	Ops     int     // LD-visible operations performed
+	Bytes   int64   // user bytes moved (0 for metadata-only phases)
+	Seconds float64 // wall time
+}
+
+// OpsPerSec returns the phase's operation rate.
+func (r Result) OpsPerSec() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Seconds
+}
+
+// KBPerSec returns the phase's data rate in KB/s (0 if no data moved).
+func (r Result) KBPerSec() float64 {
+	if r.Seconds <= 0 || r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Seconds
+}
+
+// String renders one result line.
+func (r Result) String() string {
+	s := fmt.Sprintf("%-22s %7d ops in %8.3fs  %10.0f ops/s", r.Op, r.Ops, r.Seconds, r.OpsPerSec())
+	if r.Bytes > 0 {
+		s += fmt.Sprintf("  %10.0f KB/s", r.KBPerSec())
+	}
+	return s
+}
+
+// Run executes the microbenchmarks against d: small-file create, read,
+// and delete phases, then a large-file sequential write. The disk is
+// flushed after each mutating phase so the numbers include durability.
+func Run(d ld.Disk, cfg Config) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	var results []Result
+
+	data := make([]byte, cfg.SmallSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+
+	// Small-file create: one list + one block + one write per file.
+	lids := make([]ld.ListID, cfg.SmallFiles)
+	bids := make([]ld.BlockID, cfg.SmallFiles)
+	start := time.Now()
+	for i := 0; i < cfg.SmallFiles; i++ {
+		lid, err := d.NewList(ld.NilList, ld.ListHints{Cluster: true})
+		if err != nil {
+			return nil, fmt.Errorf("small create %d: %w", i, err)
+		}
+		b, err := d.NewBlock(lid, ld.NilBlock)
+		if err != nil {
+			return nil, fmt.Errorf("small create %d: %w", i, err)
+		}
+		if err := d.Write(b, data); err != nil {
+			return nil, fmt.Errorf("small create %d: %w", i, err)
+		}
+		lids[i], bids[i] = lid, b
+	}
+	if err := d.Flush(ld.FailPower); err != nil {
+		return nil, err
+	}
+	results = append(results, Result{
+		Op:      "small-file create",
+		Ops:     cfg.SmallFiles,
+		Bytes:   int64(cfg.SmallFiles) * int64(cfg.SmallSize),
+		Seconds: time.Since(start).Seconds(),
+	})
+
+	// Small-file read.
+	buf := make([]byte, cfg.SmallSize)
+	start = time.Now()
+	for i, b := range bids {
+		n, err := d.Read(b, buf)
+		if err != nil {
+			return nil, fmt.Errorf("small read %d: %w", i, err)
+		}
+		if n != cfg.SmallSize {
+			return nil, fmt.Errorf("small read %d: got %d bytes, want %d", i, n, cfg.SmallSize)
+		}
+	}
+	results = append(results, Result{
+		Op:      "small-file read",
+		Ops:     cfg.SmallFiles,
+		Bytes:   int64(cfg.SmallFiles) * int64(cfg.SmallSize),
+		Seconds: time.Since(start).Seconds(),
+	})
+
+	// Small-file delete: DeleteList frees the list and its block.
+	start = time.Now()
+	for i, lid := range lids {
+		if err := d.DeleteList(lid, ld.NilList); err != nil {
+			return nil, fmt.Errorf("small delete %d: %w", i, err)
+		}
+	}
+	if err := d.Flush(ld.FailPower); err != nil {
+		return nil, err
+	}
+	results = append(results, Result{
+		Op:      "small-file delete",
+		Ops:     cfg.SmallFiles,
+		Seconds: time.Since(start).Seconds(),
+	})
+
+	// Large-file sequential write: one list, block-at-a-time appends.
+	nBlocks := cfg.LargeBytes / cfg.LargeBlock
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	block := make([]byte, cfg.LargeBlock)
+	for i := range block {
+		block[i] = byte(i * 7)
+	}
+	lid, err := d.NewList(ld.NilList, ld.ListHints{Cluster: true})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	pred := ld.NilBlock
+	for i := 0; i < nBlocks; i++ {
+		b, err := d.NewBlock(lid, pred)
+		if err != nil {
+			return nil, fmt.Errorf("large write block %d: %w", i, err)
+		}
+		if err := d.Write(b, block); err != nil {
+			return nil, fmt.Errorf("large write block %d: %w", i, err)
+		}
+		pred = b
+	}
+	if err := d.FlushList(lid); err != nil {
+		return nil, err
+	}
+	results = append(results, Result{
+		Op:      "large-file write",
+		Ops:     nBlocks,
+		Bytes:   int64(nBlocks) * int64(cfg.LargeBlock),
+		Seconds: time.Since(start).Seconds(),
+	})
+	if err := d.DeleteList(lid, ld.NilList); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

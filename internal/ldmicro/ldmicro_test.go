@@ -1,0 +1,80 @@
+package ldmicro
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
+	"repro/internal/netld/server"
+)
+
+func newLLD(t *testing.T) ld.Disk {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(16 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 64 * 1024
+	o.SummarySize = 8 * 1024
+	if err := lld.Format(d, o); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func quick() Config {
+	return Config{SmallFiles: 20, SmallSize: 512, LargeBytes: 64 * 1024, LargeBlock: 4096}
+}
+
+func checkResults(t *testing.T, results []Result) {
+	t.Helper()
+	want := []string{"small-file create", "small-file read", "small-file delete", "large-file write"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Op != want[i] {
+			t.Fatalf("result %d is %q, want %q", i, r.Op, want[i])
+		}
+		if r.Ops <= 0 {
+			t.Fatalf("%s: no ops", r.Op)
+		}
+		if !strings.Contains(r.String(), r.Op) {
+			t.Fatalf("%s: String() lost the op name", r.Op)
+		}
+	}
+}
+
+func TestRunLocal(t *testing.T) {
+	results, err := Run(newLLD(t), quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, results)
+}
+
+func TestRunRemote(t *testing.T) {
+	srv := server.New(server.Config{Disk: newLLD(t)})
+	t.Cleanup(func() { srv.Close() })
+	dial := func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go srv.ServeConn(sv)
+		return cl, nil
+	}
+	c, err := client.New(dial, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	results, err := Run(c, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, results)
+}

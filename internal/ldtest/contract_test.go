@@ -77,10 +77,18 @@ func state(t *testing.T, l ld.Disk) string {
 // sequence against both implementations and compares the visible state
 // and every return value along the way.
 func TestCrossImplementationLockstep(t *testing.T) {
+	runLockstep(t, newLLD, newULD, "lld", "uld")
+}
+
+// runLockstep is the contract suite's engine: it drives identical random
+// operation sequences against two fixtures and requires identical return
+// values and identical visible state throughout. Any ld.Disk — local or
+// remote — must pass against any other.
+func runLockstep(t *testing.T, newA, newB func(*testing.T) ld.Disk, nameA, nameB string) {
 	for seed := int64(0); seed < 5; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			impls := []ld.Disk{newLLD(t), newULD(t)}
+			impls := []ld.Disk{newA(t), newB(t)}
 			opRng := rand.New(rand.NewSource(seed))
 			inARU := false
 			for step := 0; step < 400; step++ {
@@ -99,7 +107,7 @@ func TestCrossImplementationLockstep(t *testing.T) {
 				}
 				res1 := applyOp(t, impls[1], op, rand.New(rand.NewSource(stepSeed)), lists1, inARU)
 				if res0 != res1 {
-					t.Fatalf("step %d op %d diverged:\n lld: %s\n uld: %s", step, op, res0, res1)
+					t.Fatalf("step %d op %d diverged:\n %s: %s\n %s: %s", step, op, nameA, res0, nameB, res1)
 				}
 				switch res0 {
 				case "beginaru false":
@@ -109,7 +117,7 @@ func TestCrossImplementationLockstep(t *testing.T) {
 				}
 				if step%40 == 39 {
 					if s0, s1 := state(t, impls[0]), state(t, impls[1]); s0 != s1 {
-						t.Fatalf("step %d: states diverge:\nlld:\n%s\nuld:\n%s", step, s0, s1)
+						t.Fatalf("step %d: states diverge:\n%s:\n%s\n%s:\n%s", step, nameA, s0, nameB, s1)
 					}
 				}
 			}
@@ -121,7 +129,7 @@ func TestCrossImplementationLockstep(t *testing.T) {
 				}
 			}
 			if s0, s1 := state(t, impls[0]), state(t, impls[1]); s0 != s1 {
-				t.Fatalf("final states diverge:\nlld:\n%s\nuld:\n%s", s0, s1)
+				t.Fatalf("final states diverge:\n%s:\n%s\n%s:\n%s", nameA, s0, nameB, s1)
 			}
 		})
 	}

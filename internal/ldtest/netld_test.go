@@ -1,0 +1,75 @@
+// The contract suite run against the network: a netld client talking to a
+// netld server backed by LLD must be indistinguishable from an in-process
+// ld.Disk. The lockstep engine and its assertions are reused unchanged —
+// the wire layer earns its keep by adding zero new semantics.
+package ldtest
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
+	"repro/internal/netld/server"
+)
+
+// newNetLLD builds an LLD-backed netld server and returns a connected
+// remote client. transport picks net.Pipe or loopback TCP.
+func newNetLLD(t *testing.T, transport string) ld.Disk {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(16 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 64 * 1024
+	o.SummarySize = 8 * 1024
+	if err := lld.Format(d, o); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Disk:   l,
+		Reopen: func() (ld.Disk, error) { return lld.Open(d, o) },
+	})
+	t.Cleanup(func() { srv.Close() })
+
+	var dial func() (net.Conn, error)
+	switch transport {
+	case "pipe":
+		dial = func() (net.Conn, error) {
+			cl, sv := net.Pipe()
+			go srv.ServeConn(sv)
+			return cl, nil
+		}
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback unavailable: %v", err)
+		}
+		go srv.Serve(ln)
+		addr := ln.Addr().String()
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	default:
+		t.Fatalf("unknown transport %q", transport)
+	}
+	c, err := client.New(dial, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestNetLDLockstepOverPipe runs the full contract suite with the remote
+// client (LLD behind a netld server over net.Pipe) against local ULD.
+func TestNetLDLockstepOverPipe(t *testing.T) {
+	runLockstep(t, func(t *testing.T) ld.Disk { return newNetLLD(t, "pipe") }, newULD, "netld(lld)", "uld")
+}
+
+// TestNetLDLockstepOverTCP is the same suite over real loopback TCP.
+func TestNetLDLockstepOverTCP(t *testing.T) {
+	runLockstep(t, func(t *testing.T) ld.Disk { return newNetLLD(t, "tcp") }, newULD, "netld(lld)", "uld")
+}

@@ -1,0 +1,258 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/server"
+	"repro/internal/netld/wire"
+)
+
+func newServer(t *testing.T) *server.Server {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(8 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 64 * 1024
+	o.SummarySize = 8 * 1024
+	if err := lld.Format(d, o); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return server.New(server.Config{
+		Disk:   l,
+		Reopen: func() (ld.Disk, error) { return lld.Open(d, o) },
+	})
+}
+
+// pipeDial returns a dial function serving every connection from s over
+// net.Pipe.
+func pipeDial(s *server.Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go s.ServeConn(sv)
+		return cl, nil
+	}
+}
+
+func newPair(t *testing.T, o Options) (*server.Server, *Client) {
+	t.Helper()
+	s := newServer(t)
+	c, err := New(pipeDial(s), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return s, c
+}
+
+func TestBasicRoundTrip(t *testing.T) {
+	_, c := newPair(t, Options{})
+	lid, err := c.NewList(ld.NilList, ld.ListHints{Cluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.NewBlock(lid, ld.NilBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(b, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(b, buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read: %q, %v", buf[:n], err)
+	}
+	if n, err := c.BlockSize(b); err != nil || n != 5 {
+		t.Fatalf("BlockSize = %d, %v", n, err)
+	}
+	if c.MaxBlockSize() <= 0 {
+		t.Fatal("MaxBlockSize not learned from handshake")
+	}
+	lists, err := c.Lists()
+	if err != nil || len(lists) != 1 || lists[0] != lid {
+		t.Fatalf("Lists = %v, %v", lists, err)
+	}
+	if err := c.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelErrorsCrossTheWire(t *testing.T) {
+	_, c := newPair(t, Options{})
+	if _, err := c.Read(9999, make([]byte, 8)); !errors.Is(err, ld.ErrBadBlock) {
+		t.Fatalf("want ErrBadBlock, got %v", err)
+	}
+	if _, err := c.ListBlocks(777); !errors.Is(err, ld.ErrBadList) {
+		t.Fatalf("want ErrBadList, got %v", err)
+	}
+	if err := c.EndARU(); !errors.Is(err, ld.ErrNoARU) {
+		t.Fatalf("want ErrNoARU, got %v", err)
+	}
+	if err := c.BeginARU(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginARU(); !errors.Is(err, ld.ErrARUOpen) {
+		t.Fatalf("want ErrARUOpen, got %v", err)
+	}
+	if err := c.EndARU(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(1234, make([]byte, 100000)); !errors.Is(err, ld.ErrTooLarge) && !errors.Is(err, ld.ErrBadBlock) {
+		// Oversized frames are rejected at the protocol layer before the
+		// disk sees them; either rejection is acceptable as long as it is
+		// an error, but it must not be silent.
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestPipelinedConcurrentRequests(t *testing.T) {
+	_, c := newPair(t, Options{})
+	lid, err := c.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	ids := make([]ld.BlockID, n)
+	for i := range ids {
+		b, err := c.NewBlock(lid, ld.NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = b
+		if err := c.Write(b, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Many goroutines share the one pipelined connection.
+	var wg sync.WaitGroup
+	errs := make(chan error, n*4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4)
+			for i, b := range ids {
+				n, err := c.Read(b, buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != 1 || buf[0] != byte(i) {
+					errs <- fmt.Errorf("block %d: got %v", i, buf[:n])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if d := c.Dials(); d != 1 {
+		t.Fatalf("pipelined reads used %d connections, want 1", d)
+	}
+}
+
+func TestDialFailuresAreRetriedForAllOps(t *testing.T) {
+	s := newServer(t)
+	defer s.Close()
+	fails := 2
+	dial := func() (net.Conn, error) {
+		if fails > 0 {
+			fails--
+			return nil, errors.New("synthetic dial failure")
+		}
+		cl, sv := net.Pipe()
+		go s.ServeConn(sv)
+		return cl, nil
+	}
+	// New dials eagerly, eating the failures before the first op; make
+	// the constructor's dial succeed, then break the conn so the op path
+	// must redial through the failures.
+	fails = 0
+	c, err := New(dial, Options{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NewList(ld.NilList, ld.ListHints{}); err != nil {
+		t.Fatal(err)
+	}
+	c.closeTransport() // drop the live conn without marking the client shut
+	c.shut.Store(false)
+	fails = 2
+	// A mutating op may retry across dial failures: nothing was sent.
+	if _, err := c.NewList(ld.NilList, ld.ListHints{}); err != nil {
+		t.Fatalf("NewList should have survived dial failures: %v", err)
+	}
+}
+
+func TestOpTimeoutTearsDownConnection(t *testing.T) {
+	// A server that handshakes and then goes silent.
+	dial := func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go func() {
+			p, err := wire.ReadFrame(sv, 4096)
+			if err != nil {
+				return
+			}
+			if _, err := wire.ParseHello(p); err != nil {
+				return
+			}
+			wire.WriteFrame(sv, wire.AppendHelloReply(nil, wire.Version, 65536, ""))
+			// Swallow all requests, answer nothing.
+			for {
+				if _, err := wire.ReadFrame(sv, 1<<20); err != nil {
+					return
+				}
+			}
+		}()
+		return cl, nil
+	}
+	c, err := New(dial, Options{OpTimeout: 50 * time.Millisecond, Retries: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Lists()
+	if err == nil {
+		t.Fatal("Lists against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	if d := c.Dials(); d != 3 {
+		// initial + 2 attempts (first try and one retry each redial)
+		t.Logf("dials = %d", d)
+	}
+}
+
+func TestShutdownSemantics(t *testing.T) {
+	s, c := newPair(t, Options{})
+	if err := c.Shutdown(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lists(); !errors.Is(err, ld.ErrShutdown) {
+		t.Fatalf("op after Shutdown: %v", err)
+	}
+	if err := c.Shutdown(true); !errors.Is(err, ld.ErrShutdown) {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// The server's backing disk is untouched by a session goodbye.
+	if err := s.Disk().Flush(ld.FailNone); err != nil {
+		t.Fatalf("backing disk was shut down by a session goodbye: %v", err)
+	}
+}

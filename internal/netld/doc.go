@@ -1,0 +1,27 @@
+// Package netld serves the Logical Disk over a network.
+//
+// The paper's central claim is that the LD interface cleanly separates
+// file management from disk management; this subsystem demonstrates the
+// claim by inserting a wire at exactly that boundary. It has four parts:
+//
+//   - wire: length-prefixed binary framing, one opcode per ld.Disk
+//     method, error codes that round-trip the ld sentinel errors, and a
+//     version handshake (which also carries the disk's max block size);
+//   - server: one goroutine per connection against a shared backing
+//     disk, the paper's single-ARU rule enforced per session, ARU abort
+//     by crash-style recovery when a session dies mid-unit, graceful
+//     drain on Close, and per-opcode counters with latency histograms;
+//   - client: an ld.Disk whose methods travel over TCP (or any
+//     net.Conn), with request pipelining, configurable timeouts, and
+//     bounded retry-with-backoff for idempotent operations;
+//   - faultconn: a deterministic fault-injecting net.Conn used by tests
+//     to prove the timeout, retry, and session-cleanup behavior.
+//
+// The remote client passes the same internal/ldtest contract suite as
+// the in-process implementations. cmd/ldserver serves an LLD-backed disk;
+// cmd/ldbench and cmd/lddump take -remote flags to benchmark and inspect
+// a live server.
+//
+// This package holds only documentation and the cross-layer integration
+// tests; the code lives in the subpackages.
+package netld

@@ -1,0 +1,198 @@
+// Package faultconn wraps a net.Conn with deterministic fault injection:
+// per-I/O delays, connection drops, and mid-frame disconnects after an
+// exact byte count. All randomness derives from a seed, so a failing test
+// replays identically.
+//
+// netld's tests use it to prove the client's timeout/retry behavior and
+// the server's session cleanup: an ARU open on a dropped session must
+// abort, not leak.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is returned by a connection whose fault has fired.
+var ErrInjected = errors.New("faultconn: injected fault")
+
+// Config describes the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed drives every random choice. Two conns with equal configs and
+	// equal call sequences fail identically.
+	Seed int64
+
+	// DelayProb is the per-I/O probability of sleeping before the
+	// operation; the sleep is uniform in (0, MaxDelay].
+	DelayProb float64
+	MaxDelay  time.Duration
+
+	// DropProb is the per-I/O probability of killing the connection
+	// before the operation completes.
+	DropProb float64
+
+	// CutAfterBytes, if > 0, kills the connection once that many bytes
+	// total have crossed it (reads plus writes). The I/O that crosses
+	// the threshold transfers only the bytes below it, producing a
+	// mid-frame disconnect.
+	CutAfterBytes int64
+}
+
+// Conn is a net.Conn with injected faults.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	moved int64
+	dead  bool
+}
+
+// Wrap returns c with faults injected per cfg.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// decide rolls the dice for one I/O of up to n bytes. It returns how many
+// bytes may transfer (possibly 0) and whether the connection dies after
+// transferring them.
+func (c *Conn) decide(n int) (allow int, die bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, true
+	}
+	var delay time.Duration
+	if c.cfg.DelayProb > 0 && c.rng.Float64() < c.cfg.DelayProb && c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay))) + 1
+	}
+	if delay > 0 {
+		// Sleep outside nothing: holding mu is fine — the peer goroutine
+		// uses its own conn wrapper, and serializing this conn's I/O is
+		// exactly what a slow link does.
+		time.Sleep(delay)
+	}
+	if c.cfg.DropProb > 0 && c.rng.Float64() < c.cfg.DropProb {
+		c.dead = true
+		return 0, true
+	}
+	allow = n
+	if c.cfg.CutAfterBytes > 0 {
+		left := c.cfg.CutAfterBytes - c.moved
+		if left <= 0 {
+			c.dead = true
+			return 0, true
+		}
+		if int64(allow) >= left {
+			allow = int(left)
+			die = true
+			c.dead = true
+		}
+	}
+	c.moved += int64(allow)
+	return allow, die
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	allow, die := c.decide(len(p))
+	if allow == 0 && die {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	n, err := c.Conn.Read(p[:allow])
+	if die {
+		c.Conn.Close()
+		if err == nil {
+			err = ErrInjected
+		}
+	}
+	c.adjust(allow - n)
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	allow, die := c.decide(len(p))
+	if allow == 0 && die {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	n, err := c.Conn.Write(p[:allow])
+	if die {
+		c.Conn.Close()
+		if err == nil {
+			err = ErrInjected
+		}
+	} else if err == nil && allow < len(p) {
+		// Short write without a fault would violate net.Conn's contract;
+		// only the dying I/O may transfer fewer bytes than asked.
+		err = ErrInjected
+	}
+	c.adjust(allow - n)
+	return n, err
+}
+
+// adjust returns unused byte budget (when the underlying conn moved fewer
+// bytes than allowed) so CutAfterBytes stays exact.
+func (c *Conn) adjust(unused int) {
+	if unused <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.moved -= int64(unused)
+	c.mu.Unlock()
+}
+
+// CutIn arms a cut n bytes from now: after n more bytes cross the
+// connection, it dies mid-frame. CutIn(0) kills it at the next I/O.
+func (c *Conn) CutIn(n int64) {
+	c.mu.Lock()
+	c.cfg.CutAfterBytes = c.moved + n
+	c.mu.Unlock()
+}
+
+// Kill severs the connection immediately, as if the peer's host died.
+func (c *Conn) Kill() {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+// Moved reports the bytes that have crossed the connection so far.
+func (c *Conn) Moved() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moved
+}
+
+// Listener wraps accepted connections with fault injection. Each accepted
+// conn gets a distinct seed derived from Config.Seed and the accept
+// ordinal, keeping runs deterministic while decorrelating sessions.
+type Listener struct {
+	net.Listener
+	cfg Config
+	n   atomic.Int64
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	cfg.Seed = l.cfg.Seed + 1000003*l.n.Add(1)
+	return Wrap(c, cfg), nil
+}

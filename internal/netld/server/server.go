@@ -1,0 +1,689 @@
+// Package server serves an ld.Disk over the netld wire protocol.
+//
+// One goroutine runs per connection (a session). Requests on a session are
+// executed in order; sessions run concurrently against the shared backing
+// disk, which the ld.Disk contract requires to be safe for concurrent use.
+//
+// Atomic recovery units follow the paper's single-ARU rule (§2.2): at most
+// one ARU is open across the whole server, and it belongs to the session
+// that opened it. While a session holds the ARU, mutating commands from
+// other sessions fail with wire.ErrBusy — folding a bystander's writes
+// into someone else's atomicity unit would silently change their failure
+// semantics. If a session disconnects with its ARU still open, the server
+// aborts the unit the way the paper's §3.3 recovery does: it flushes the
+// log (the unit's records are tagged uncommitted), simulates a crash of
+// the in-memory state, and reopens the backing store, whose one-sweep
+// recovery discards the unfinished unit. No ARU ever outlives its session.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ld"
+	"repro/internal/netld/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Disk is the backing logical disk. Required.
+	Disk ld.Disk
+
+	// Reopen crash-recovers the backing store and returns the recovered
+	// disk; the server calls it to abort an ARU left open by a dropped
+	// session (flush, unclean shutdown, reopen — the §3.3 story). If nil,
+	// the server falls back to committing the dangling unit with EndARU,
+	// which keeps the server serviceable but weakens atomicity; Stats
+	// counts such forced commits separately so tests and operators see
+	// them.
+	Reopen func() (ld.Disk, error)
+
+	// Logf, if non-nil, receives server diagnostics.
+	Logf func(format string, args ...any)
+
+	// MaxFrame bounds incoming frame sizes. Defaults to the backing
+	// disk's max block size plus header slack.
+	MaxFrame int
+}
+
+// OpStats aggregates per-opcode counters and a latency histogram.
+type OpStats struct {
+	Count  uint64 // requests handled
+	Errors uint64 // requests answered with a non-OK status
+
+	// Buckets is a log2 latency histogram: Buckets[i] counts requests
+	// that took less than 1µs<<i; the last bucket absorbs the rest.
+	Buckets [16]uint64
+}
+
+// Stats is a snapshot of server counters, in the spirit of expvar.
+type Stats struct {
+	SessionsOpened   uint64
+	SessionsClosed   uint64
+	ActiveSessions   uint64
+	ARUAborts        uint64 // dangling ARUs aborted via crash-recovery
+	ARUForcedCommits uint64 // dangling ARUs committed (no Reopen hook)
+	ProtoErrors      uint64
+	Ops              map[string]OpStats // keyed by method name
+}
+
+// Server serves one backing ld.Disk to any number of sessions.
+type Server struct {
+	logf     func(string, ...any)
+	reopen   func() (ld.Disk, error)
+	maxFrame int
+
+	// mu guards the backing disk pointer, ARU ownership, and the session
+	// and listener sets. Request handlers hold it for reading while they
+	// call into the disk, so an ARU abort (which swaps the disk) waits
+	// for in-flight requests and vice versa.
+	mu        sync.RWMutex
+	disk      ld.Disk
+	aruSess   *session
+	sessions  map[*session]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+	killed    bool
+
+	wg sync.WaitGroup
+
+	statMu sync.Mutex
+	ops    [wire.NumOps]OpStats
+	stats  Stats
+}
+
+type session struct {
+	conn    net.Conn
+	closing chan struct{} // closed to ask the session to drain and exit
+	once    sync.Once
+}
+
+func (s *session) askClose() { s.once.Do(func() { close(s.closing) }) }
+
+// New returns a Server for cfg. It panics if cfg.Disk is nil.
+func New(cfg Config) *Server {
+	if cfg.Disk == nil {
+		panic("netld/server: Config.Disk is nil")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = cfg.Disk.MaxBlockSize() + 4096
+	}
+	return &Server{
+		logf:      logf,
+		reopen:    cfg.Reopen,
+		maxFrame:  maxFrame,
+		disk:      cfg.Disk,
+		sessions:  make(map[*session]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is closed. It returns nil after Close or Kill.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("netld/server: server closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.RLock()
+			closed := s.closed
+			s.mu.RUnlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(c)
+	}
+}
+
+// ServeConn runs one session on c. It is exported so tests can serve
+// in-memory connections (net.Pipe) without a listener. It blocks until
+// the session ends and always closes c.
+func (s *Server) ServeConn(c net.Conn) {
+	sess := &session{conn: c, closing: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.statMu.Lock()
+	s.stats.SessionsOpened++
+	s.statMu.Unlock()
+
+	defer func() {
+		c.Close()
+		s.dropSession(sess)
+		s.statMu.Lock()
+		s.stats.SessionsClosed++
+		s.statMu.Unlock()
+		s.wg.Done()
+	}()
+
+	if err := s.handshake(c); err != nil {
+		if !s.quietErr(err) {
+			s.logf("netld/server: handshake from %v: %v", c.RemoteAddr(), err)
+			s.countProtoError()
+		}
+		return
+	}
+
+	var out []byte
+	for {
+		select {
+		case <-sess.closing:
+			return
+		default:
+		}
+		payload, err := wire.ReadFrame(c, s.maxFrame)
+		if err != nil {
+			if !s.quietErr(err) {
+				s.logf("netld/server: read from %v: %v", c.RemoteAddr(), err)
+			}
+			if errors.Is(err, wire.ErrProto) {
+				s.countProtoError()
+			}
+			return
+		}
+		id, op, body, err := wire.ParseRequestHeader(payload)
+		if err != nil {
+			s.countProtoError()
+			return
+		}
+		start := time.Now()
+		respBody, opErr := s.handle(sess, op, body)
+		s.record(op, opErr, time.Since(start))
+
+		out = wire.AppendResponseHeader(out[:0], id, wire.CodeFor(opErr))
+		if opErr != nil {
+			out = append(out, opErr.Error()...)
+		} else {
+			out = append(out, respBody...)
+		}
+		if err := wire.WriteFrame(c, out); err != nil {
+			if !s.quietErr(err) {
+				s.logf("netld/server: write to %v: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		if op == wire.OpShutdown && opErr == nil {
+			// Clean goodbye: release the ARU bookkeeping normally.
+			return
+		}
+	}
+}
+
+// quietErr reports whether err is an expected end-of-session error not
+// worth logging (EOF, closed connection, drain deadline).
+func (s *Server) quietErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true // drain deadline set by Close
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+func (s *Server) handshake(c net.Conn) error {
+	p, err := wire.ReadFrame(c, 64)
+	if err != nil {
+		return err
+	}
+	ver, err := wire.ParseHello(p)
+	if err != nil {
+		wire.WriteFrame(c, wire.AppendHelloReply(nil, 0, 0, err.Error()))
+		return err
+	}
+	if ver != wire.Version {
+		msg := fmt.Sprintf("server speaks version %d, client sent %d", wire.Version, ver)
+		wire.WriteFrame(c, wire.AppendHelloReply(nil, 0, 0, msg))
+		return fmt.Errorf("%w: %s", wire.ErrVersion, msg)
+	}
+	s.mu.RLock()
+	maxBlock := s.disk.MaxBlockSize()
+	s.mu.RUnlock()
+	return wire.WriteFrame(c, wire.AppendHelloReply(nil, wire.Version, maxBlock, ""))
+}
+
+// mutating reports whether an opcode changes disk state and must
+// therefore be fenced off while another session holds the ARU.
+func mutating(op uint8) bool {
+	switch op {
+	case wire.OpWrite, wire.OpNewBlock, wire.OpDeleteBlock, wire.OpNewList,
+		wire.OpDeleteList, wire.OpMoveBlocks, wire.OpMoveList, wire.OpSwapContents:
+		return true
+	}
+	return false
+}
+
+// handle executes one request. It returns the response body (nil on
+// error) and the operation error.
+func (s *Server) handle(sess *session, op uint8, body []byte) ([]byte, error) {
+	switch op {
+	case wire.OpBeginARU:
+		return s.beginARU(sess, body)
+	case wire.OpEndARU:
+		return s.endARU(sess, body)
+	case wire.OpShutdown:
+		return s.shutdownSession(sess, body)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.aruSess != nil && s.aruSess != sess && mutating(op) {
+		return nil, wire.ErrBusy
+	}
+	d := s.disk
+	c := wire.NewCursor(body)
+
+	switch op {
+	case wire.OpRead:
+		b := c.Block()
+		bufLen := int(c.U32())
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		if bufLen > s.maxFrame {
+			return nil, fmt.Errorf("%w: read buffer %d exceeds frame limit", wire.ErrProto, bufLen)
+		}
+		buf := make([]byte, bufLen)
+		n, err := d.Read(b, buf)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(nil, buf[:n]), nil
+
+	case wire.OpWrite:
+		b := c.Block()
+		data := c.Bytes()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.Write(b, data)
+
+	case wire.OpNewBlock:
+		lid, pred := c.List(), c.Block()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		nb, err := d.NewBlock(lid, pred)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBlock(nil, nb), nil
+
+	case wire.OpDeleteBlock:
+		b, lid, predHint := c.Block(), c.List(), c.Block()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.DeleteBlock(b, lid, predHint)
+
+	case wire.OpNewList:
+		pred := c.List()
+		hints := wire.HintsFromByte(c.U8())
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		lid, err := d.NewList(pred, hints)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendList(nil, lid), nil
+
+	case wire.OpDeleteList:
+		lid, predHint := c.List(), c.List()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.DeleteList(lid, predHint)
+
+	case wire.OpMoveBlocks:
+		first, last := c.Block(), c.Block()
+		src, dst := c.List(), c.List()
+		pred, srcPredHint := c.Block(), c.Block()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.MoveBlocks(first, last, src, dst, pred, srcPredHint)
+
+	case wire.OpMoveList:
+		lid, newPred, predHint := c.List(), c.List(), c.List()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.MoveList(lid, newPred, predHint)
+
+	case wire.OpFlushList:
+		lid := c.List()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.FlushList(lid)
+
+	case wire.OpFlush:
+		fs := ld.FailureSet(c.U32())
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.Flush(fs)
+
+	case wire.OpReserve:
+		n := c.I64()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.Reserve(int(n))
+
+	case wire.OpCancelReservation:
+		n := c.I64()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.CancelReservation(int(n))
+
+	case wire.OpSwapContents:
+		a, b := c.Block(), c.Block()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		return nil, d.SwapContents(a, b)
+
+	case wire.OpListBlocks:
+		lid := c.List()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		ids, err := d.ListBlocks(lid)
+		if err != nil {
+			return nil, err
+		}
+		out := wire.AppendU32(nil, uint32(len(ids)))
+		for _, id := range ids {
+			out = wire.AppendBlock(out, id)
+		}
+		return out, nil
+
+	case wire.OpListIndex:
+		lid := c.List()
+		i := c.I64()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		b, err := d.ListIndex(lid, int(i))
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBlock(nil, b), nil
+
+	case wire.OpLists:
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		ids, err := d.Lists()
+		if err != nil {
+			return nil, err
+		}
+		out := wire.AppendU32(nil, uint32(len(ids)))
+		for _, id := range ids {
+			out = wire.AppendList(out, id)
+		}
+		return out, nil
+
+	case wire.OpBlockSize:
+		b := c.Block()
+		if err := c.Done(); err != nil {
+			return nil, err
+		}
+		n, err := d.BlockSize(b)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendI64(nil, int64(n)), nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d", wire.ErrProto, op)
+	}
+}
+
+func (s *Server) beginARU(sess *session, body []byte) ([]byte, error) {
+	if err := wire.NewCursor(body).Done(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aruSess != nil && s.aruSess != sess {
+		return nil, wire.ErrBusy
+	}
+	if err := s.disk.BeginARU(); err != nil {
+		return nil, err
+	}
+	s.aruSess = sess
+	return nil, nil
+}
+
+func (s *Server) endARU(sess *session, body []byte) ([]byte, error) {
+	if err := wire.NewCursor(body).Done(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aruSess != nil && s.aruSess != sess {
+		// The unit belongs to someone else; from this session's point of
+		// view no ARU is open.
+		return nil, ld.ErrNoARU
+	}
+	if err := s.disk.EndARU(); err != nil {
+		return nil, err
+	}
+	s.aruSess = nil
+	return nil, nil
+}
+
+// shutdownSession handles the session goodbye. It never shuts down the
+// backing disk — other sessions share it. A clean goodbye with the ARU
+// still open fails with ErrARUOpen, mirroring ld.Disk.Shutdown; an
+// unclean one drops the session as a disconnect would (aborting the ARU).
+func (s *Server) shutdownSession(sess *session, body []byte) ([]byte, error) {
+	c := wire.NewCursor(body)
+	clean := c.U8() != 0
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	if clean {
+		s.mu.RLock()
+		holds := s.aruSess == sess
+		s.mu.RUnlock()
+		if holds {
+			return nil, ld.ErrARUOpen
+		}
+	}
+	return nil, nil
+}
+
+// dropSession removes a session and aborts its ARU if it held one.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	if s.aruSess != sess {
+		s.mu.Unlock()
+		return
+	}
+	if s.killed {
+		// Crash simulation: leave the disk exactly as a dying process
+		// would — recovery happens at the next Open.
+		s.aruSess = nil
+		s.mu.Unlock()
+		return
+	}
+	s.abortARULocked()
+	s.mu.Unlock()
+}
+
+// abortARULocked aborts the open ARU. Caller holds s.mu.
+//
+// The abort is the paper's recovery in miniature: flush the log (in-ARU
+// records are tagged uncommitted, so flushing does not commit them),
+// crash the in-memory state, and reopen from disk; the one-sweep recovery
+// of §3.6 keeps everything up to the unit and discards the unit itself.
+func (s *Server) abortARULocked() {
+	s.aruSess = nil
+	if s.reopen == nil {
+		// No recovery hook: committing is the only way to close the unit
+		// without wedging the server. Count it loudly.
+		if err := s.disk.EndARU(); err != nil {
+			s.logf("netld/server: force-commit of dangling ARU failed: %v", err)
+		} else {
+			s.logf("netld/server: session died mid-ARU; unit force-committed (no Reopen hook)")
+		}
+		s.statMu.Lock()
+		s.stats.ARUForcedCommits++
+		s.statMu.Unlock()
+		return
+	}
+	if err := s.disk.Flush(ld.FailPower); err != nil {
+		s.logf("netld/server: pre-abort flush failed: %v", err)
+	}
+	if err := s.disk.Shutdown(false); err != nil {
+		s.logf("netld/server: unclean shutdown for ARU abort failed: %v", err)
+	}
+	nd, err := s.reopen()
+	if err != nil {
+		s.logf("netld/server: reopen after ARU abort failed: %v", err)
+		return
+	}
+	s.disk = nd
+	s.statMu.Lock()
+	s.stats.ARUAborts++
+	s.statMu.Unlock()
+	s.logf("netld/server: session died mid-ARU; unit aborted by recovery")
+}
+
+// Close stops accepting, asks every session to finish its in-flight
+// request, and waits for them to exit. Responses already being computed
+// are still delivered; no new requests are read.
+func (s *Server) Close() error {
+	s.shutListeners()
+	s.mu.RLock()
+	for sess := range s.sessions {
+		sess.askClose()
+		// Unblock a session parked in ReadFrame; writes are unaffected,
+		// so the in-flight response still goes out.
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	s.mu.RUnlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Kill abruptly severs every connection without draining and without
+// aborting dangling ARUs — it simulates the server process dying, for
+// crash-recovery tests. The backing disk is left untouched.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.mu.Unlock()
+	s.shutListeners()
+	s.mu.RLock()
+	for sess := range s.sessions {
+		sess.askClose()
+		sess.conn.Close()
+	}
+	s.mu.RUnlock()
+	s.wg.Wait()
+}
+
+func (s *Server) shutListeners() {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Disk returns the current backing disk (it changes after an ARU abort).
+func (s *Server) Disk() ld.Disk {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.disk
+}
+
+// HasOpenARU reports whether any session currently holds the ARU.
+func (s *Server) HasOpenARU() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.aruSess != nil
+}
+
+func (s *Server) record(op uint8, err error, d time.Duration) {
+	if int(op) >= wire.NumOps {
+		op = 0
+	}
+	bucket := 0
+	for us := d.Microseconds(); us > 0 && bucket < len(OpStats{}.Buckets)-1; us >>= 1 {
+		bucket++
+	}
+	s.statMu.Lock()
+	st := &s.ops[op]
+	st.Count++
+	if err != nil {
+		st.Errors++
+	}
+	st.Buckets[bucket]++
+	s.statMu.Unlock()
+}
+
+func (s *Server) countProtoError() {
+	s.statMu.Lock()
+	s.stats.ProtoErrors++
+	s.statMu.Unlock()
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	active := uint64(len(s.sessions))
+	s.mu.RUnlock()
+	s.statMu.Lock()
+	out := s.stats
+	out.ActiveSessions = active
+	out.Ops = make(map[string]OpStats)
+	for op := 1; op < wire.NumOps; op++ {
+		if s.ops[op].Count > 0 {
+			out.Ops[wire.OpName(uint8(op))] = s.ops[op]
+		}
+	}
+	s.statMu.Unlock()
+	return out
+}

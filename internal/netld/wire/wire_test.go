@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ld"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 70000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 100); !errors.Is(err, ErrProto) {
+		t.Fatalf("oversized frame: got %v, want ErrProto", err)
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	sentinels := []error{
+		ld.ErrNoSpace, ld.ErrBadBlock, ld.ErrBadList, ld.ErrNotInList,
+		ld.ErrTooLarge, ld.ErrARUOpen, ld.ErrNoARU, ld.ErrShutdown,
+		ld.ErrListNotEmpty, ErrBusy,
+	}
+	for _, sent := range sentinels {
+		code := CodeFor(sent)
+		if code == StatusOK {
+			t.Fatalf("%v mapped to StatusOK", sent)
+		}
+		back := ErrFor(code, sent.Error())
+		if !errors.Is(back, sent) {
+			t.Fatalf("%v did not round-trip: got %v", sent, back)
+		}
+		// Wrapped errors keep their message and their identity.
+		wrapped := fmt.Errorf("lld: block 7: %w", sent)
+		back = ErrFor(CodeFor(wrapped), wrapped.Error())
+		if !errors.Is(back, sent) {
+			t.Fatalf("wrapped %v lost identity: %v", sent, back)
+		}
+		if back.Error() != wrapped.Error() {
+			t.Fatalf("wrapped %v lost message: %q != %q", sent, back.Error(), wrapped.Error())
+		}
+	}
+	if CodeFor(nil) != StatusOK {
+		t.Fatal("nil must map to StatusOK")
+	}
+	if ErrFor(StatusOK, "") != nil {
+		t.Fatal("StatusOK must map to nil")
+	}
+	if err := ErrFor(CodeInternal, "kaboom"); err == nil || err.Error() != "netld: server error: kaboom" {
+		t.Fatalf("internal error: %v", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	hello := AppendHello(nil)
+	v, err := ParseHello(hello)
+	if err != nil || v != Version {
+		t.Fatalf("hello: v=%d err=%v", v, err)
+	}
+	if _, err := ParseHello([]byte("BOGUS1")); !errors.Is(err, ErrProto) {
+		t.Fatalf("bad hello: %v", err)
+	}
+
+	reply := AppendHelloReply(nil, Version, 65528, "")
+	v, maxBlock, err := ParseHelloReply(reply)
+	if err != nil || v != Version || maxBlock != 65528 {
+		t.Fatalf("reply: v=%d max=%d err=%v", v, maxBlock, err)
+	}
+	reject := AppendHelloReply(nil, 0, 0, "version 9 unsupported")
+	if _, _, err := ParseHelloReply(reject); !errors.Is(err, ErrVersion) {
+		t.Fatalf("reject: %v", err)
+	}
+}
+
+func TestHeadersAndCursor(t *testing.T) {
+	req := AppendRequestHeader(nil, 42, OpWrite)
+	req = AppendBlock(req, 7)
+	req = AppendBytes(req, []byte("data"))
+	id, op, body, err := ParseRequestHeader(req)
+	if err != nil || id != 42 || op != OpWrite {
+		t.Fatalf("request header: id=%d op=%d err=%v", id, op, err)
+	}
+	c := NewCursor(body)
+	if b := c.Block(); b != 7 {
+		t.Fatalf("block = %d", b)
+	}
+	if d := c.Bytes(); string(d) != "data" {
+		t.Fatalf("data = %q", d)
+	}
+	if err := c.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := AppendResponseHeader(nil, 42, StatusOK)
+	resp = AppendI64(resp, -5)
+	id, status, body, err := ParseResponseHeader(resp)
+	if err != nil || id != 42 || status != StatusOK {
+		t.Fatalf("response header: id=%d status=%d err=%v", id, status, err)
+	}
+	c = NewCursor(body)
+	if v := c.I64(); v != -5 {
+		t.Fatalf("i64 = %d", v)
+	}
+	if err := c.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation and trailing garbage are protocol errors.
+	c = NewCursor([]byte{1, 2})
+	c.U32()
+	if err := c.Done(); !errors.Is(err, ErrProto) {
+		t.Fatalf("truncated: %v", err)
+	}
+	c = NewCursor([]byte{1, 2, 3, 4, 5})
+	c.U32()
+	if err := c.Done(); !errors.Is(err, ErrProto) {
+		t.Fatalf("trailing: %v", err)
+	}
+}
+
+func TestHintsByte(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		h := ld.ListHints{Cluster: i&1 != 0, Compress: i&2 != 0, ClusterWithPred: i&4 != 0}
+		if got := HintsFromByte(HintsByte(h)); got != h {
+			t.Fatalf("hints %+v round-tripped to %+v", h, got)
+		}
+	}
+}
+
+func TestOpName(t *testing.T) {
+	if OpName(OpRead) != "Read" || OpName(OpShutdown) != "Shutdown" {
+		t.Fatal("opcode names wrong")
+	}
+	if OpName(200) != "op200" {
+		t.Fatalf("unknown opcode name: %s", OpName(200))
+	}
+}
