@@ -18,12 +18,22 @@
 //
 //	ldbench -remote localhost:7093   # microbenchmarks against ldserver
 //	ldbench -micro                   # same suite, in-process LLD
+//
+// The multi-client throughput suite runs read-heavy, mixed, and write-heavy
+// randomized workloads at several client counts, in-process or against a
+// live server (one connection per client):
+//
+//	ldbench -conc                          # concurrent suite, in-process LLD
+//	ldbench -conc -clients 1,4,16          # choose the client counts
+//	ldbench -conc -remote localhost:7093   # same suite over netld
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/disk"
@@ -58,20 +68,89 @@ func localMicroDisk() (ld.Disk, error) {
 	return lld.Open(d, o)
 }
 
+// parseClients parses a comma-separated client-count list like "1,4,16".
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runConcurrent executes the multi-client throughput suite against open.
+func runConcurrent(open ldmicro.OpenFunc, label string, clients []int, ops int) error {
+	fmt.Printf("# LD concurrent throughput (%s) — wall time, %d ops/client\n", label, ops)
+	results, err := ldmicro.RunConcurrentSuite(open, clients, ldmicro.ConcurrentConfig{OpsPerClient: ops})
+	if err != nil {
+		return err
+	}
+	base := make(map[string]float64)
+	for _, r := range results {
+		line := r.String()
+		if r.Clients == clients[0] {
+			base[r.Name] = r.OpsPerSec()
+		} else if b := base[r.Name]; b > 0 {
+			line += fmt.Sprintf("  (%.2fx vs %d)", r.OpsPerSec()/b, clients[0])
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
 func main() {
 	scale := flag.Int("scale", 10, "divide the paper's workload sizes by this factor (1 = full size)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	remote := flag.String("remote", "", "run LD microbenchmarks against a netld server at this address")
 	micro := flag.Bool("micro", false, "run LD microbenchmarks against an in-process LLD")
 	microFiles := flag.Int("micro-files", 500, "small-file count for the microbenchmarks")
+	conc := flag.Bool("conc", false, "run the multi-client throughput suite (in-process, or against -remote)")
+	concClients := flag.String("clients", "1,4,16", "comma-separated client counts for -conc")
+	concOps := flag.Int("conc-ops", 2000, "operations per client for -conc")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
-		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
+
+	if *conc {
+		clients, err := parseClients(*concClients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(2)
+		}
+		var open ldmicro.OpenFunc
+		label := "local in-process LLD"
+		if *remote != "" {
+			label = "remote " + *remote
+			open = func() (ld.Disk, func() error, error) {
+				c, err := client.Dial(*remote, client.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return c, c.Close, nil
+			}
+		} else {
+			d, err := localMicroDisk()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+				os.Exit(1)
+			}
+			open = ldmicro.SingleHandle(d)
+		}
+		if err := runConcurrent(open, label, clients, *concOps); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *remote != "" {
 		c, err := client.Dial(*remote, client.Options{})

@@ -24,6 +24,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -61,7 +62,25 @@ func main() {
 	img := flag.String("img", "", "disk image to serve (created if missing); saved on clean shutdown")
 	size := flag.String("size", "64M", "capacity for a fresh disk (K/M/G suffixes)")
 	segment := flag.String("segment", "512K", "LLD segment size for a fresh format")
+	recoveryWorkers := flag.Int("recovery-workers", 0,
+		"goroutines for the one-sweep startup recovery (0 = min(GOMAXPROCS, 8), 1 = sequential)")
 	quiet := flag.Bool("q", false, "suppress per-event logging")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ldserver [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, `
+Concurrency: each client connection is served by its own goroutine, and
+read-only commands (READ, LISTBLOCKS, ...) execute concurrently inside the
+backing LLD under a shared lock; mutating commands are exclusive. There is
+no worker-pool knob for request handling — concurrency equals the number
+of connected clients with in-flight requests. -recovery-workers controls
+only the parallel summary sweep during startup recovery of a crashed image.
+
+On graceful shutdown (SIGINT/SIGTERM) the server drains in-flight
+requests, checkpoints the LLD, and prints a per-opcode latency table
+(count, errors, approximate p50/p99 from a log2 histogram).
+`)
+	}
 	flag.Parse()
 
 	capacity, err := parseSize(*size)
@@ -75,6 +94,7 @@ func main() {
 
 	opts := lld.DefaultOptions()
 	opts.SegmentSize = int(segSize)
+	opts.RecoveryWorkers = *recoveryWorkers
 
 	var d *disk.Disk
 	needFormat := true
@@ -143,9 +163,37 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ldserver: image saved to %s\n", *img)
 	}
-	if !*quiet {
-		stats, _ := json.MarshalIndent(srv.Stats(), "", "  ")
-		fmt.Fprintf(os.Stderr, "ldserver: final stats:\n%s\n", stats)
+	printStats(srv.Stats(), *quiet)
+}
+
+// printStats renders the shutdown report: a one-line summary, the
+// per-opcode latency table, and (unless quiet) the full JSON snapshot.
+func printStats(st server.Stats, quiet bool) {
+	var total, errs uint64
+	names := make([]string, 0, len(st.Ops))
+	for name, op := range st.Ops {
+		if op.Count == 0 {
+			continue
+		}
+		total += op.Count
+		errs += op.Errors
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr,
+		"ldserver: served %d requests (%d errors) over %d sessions; %d ARU aborts, %d proto errors\n",
+		total, errs, st.SessionsOpened, st.ARUAborts, st.ProtoErrors)
+	if len(names) > 0 {
+		fmt.Fprintf(os.Stderr, "%-14s %10s %8s %10s %10s\n", "op", "count", "errors", "p50", "p99")
+		for _, name := range names {
+			op := st.Ops[name]
+			fmt.Fprintf(os.Stderr, "%-14s %10d %8d %10v %10v\n",
+				name, op.Count, op.Errors, op.Quantile(0.50), op.Quantile(0.99))
+		}
+	}
+	if !quiet {
+		js, _ := json.MarshalIndent(st, "", "  ")
+		fmt.Fprintf(os.Stderr, "ldserver: final stats:\n%s\n", js)
 	}
 }
 

@@ -1,0 +1,279 @@
+package ldmicro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ld"
+)
+
+// ConcurrentConfig sizes a multi-client throughput workload: Clients
+// goroutines issue a randomized read/write mix against a shared working
+// set of Blocks blocks prepared before timing starts.
+type ConcurrentConfig struct {
+	// Clients is the number of concurrent workers. Default 4.
+	Clients int
+	// Blocks is the shared working-set size. Default 256.
+	Blocks int
+	// BlockSize is the payload size per block. Default 4 KiB.
+	BlockSize int
+	// OpsPerClient is how many operations each worker issues. Default 2000.
+	OpsPerClient int
+	// ReadFraction is the probability an operation is a Read; the rest are
+	// Writes. 0.95 models a read-heavy mix, 0.5 mixed, 0.1 write-heavy.
+	ReadFraction float64
+	// Compress puts the working set in a Compress-hinted list (paper §3.3),
+	// so reads pay real decompression CPU — the work that a parallel read
+	// path can overlap across clients.
+	Compress bool
+	// Seed makes the per-worker operation streams reproducible. Default 1.
+	Seed int64
+}
+
+func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 256
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ConcurrentResult aggregates one multi-client run.
+type ConcurrentResult struct {
+	Name    string
+	Clients int
+	Reads   int64
+	Writes  int64
+	Bytes   int64 // user bytes moved in both directions
+	Seconds float64
+}
+
+// Ops returns the total operation count.
+func (r ConcurrentResult) Ops() int64 { return r.Reads + r.Writes }
+
+// OpsPerSec returns the aggregate operation rate across all clients.
+func (r ConcurrentResult) OpsPerSec() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Ops()) / r.Seconds
+}
+
+// String renders one result line.
+func (r ConcurrentResult) String() string {
+	return fmt.Sprintf("%-22s %2d clients %7d ops (%d r/%d w) in %8.3fs  %10.0f ops/s",
+		r.Name, r.Clients, r.Ops(), r.Reads, r.Writes, r.Seconds, r.OpsPerSec())
+}
+
+// OpenFunc returns a fresh handle to the disk under test plus a close
+// function. RunConcurrent calls it once for setup and once per client, so
+// a netld caller can give every worker its own connection while an
+// in-process caller returns the same *lld.LLD each time.
+type OpenFunc func() (ld.Disk, func() error, error)
+
+// SingleHandle adapts one shared, concurrency-safe handle to an OpenFunc.
+func SingleHandle(d ld.Disk) OpenFunc {
+	return func() (ld.Disk, func() error, error) {
+		return d, func() error { return nil }, nil
+	}
+}
+
+// concPayload fills buf with a self-identifying, compressible payload:
+// a textual header naming the block and version, repeated to length. A
+// reader that observes a torn or misdirected block sees a wrong header.
+func concPayload(buf []byte, block, version int) {
+	header := fmt.Sprintf("blk%06d v%08d lorem ipsum dolor sit amet | ", block, version)
+	for off := 0; off < len(buf); off += len(header) {
+		copy(buf[off:], header)
+	}
+}
+
+// checkPayload verifies a read buffer carries block's header.
+func checkPayload(buf []byte, block int) error {
+	want := fmt.Sprintf("blk%06d ", block)
+	if len(buf) < len(want) || string(buf[:len(want)]) != want {
+		n := len(buf)
+		if n > 24 {
+			n = 24
+		}
+		return fmt.Errorf("block %d: payload header %q, want prefix %q", block, buf[:n], want)
+	}
+	return nil
+}
+
+// RunConcurrent prepares a Blocks-block working set, then runs Clients
+// workers for OpsPerClient operations each against it and reports the
+// aggregate wall-time throughput. Reads verify the block header, so a
+// torn or misdirected read fails the run rather than inflating it.
+func RunConcurrent(name string, open OpenFunc, cfg ConcurrentConfig) (ConcurrentResult, error) {
+	cfg = cfg.withDefaults()
+
+	setup, closeSetup, err := open()
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	defer closeSetup()
+
+	lid, err := setup.NewList(ld.NilList, ld.ListHints{Compress: cfg.Compress})
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	bids := make([]ld.BlockID, cfg.Blocks)
+	buf := make([]byte, cfg.BlockSize)
+	pred := ld.NilBlock
+	for i := range bids {
+		b, err := setup.NewBlock(lid, pred)
+		if err != nil {
+			return ConcurrentResult{}, fmt.Errorf("setup block %d: %w", i, err)
+		}
+		concPayload(buf, i, 0)
+		if err := setup.Write(b, buf); err != nil {
+			return ConcurrentResult{}, fmt.Errorf("setup write %d: %w", i, err)
+		}
+		bids[i], pred = b, b
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return ConcurrentResult{}, err
+	}
+
+	var (
+		wg            sync.WaitGroup
+		reads, writes int64
+		bytesMoved    int64
+		mu            sync.Mutex
+		firstErr      error
+		handles       = make([]ld.Disk, cfg.Clients)
+		closers       = make([]func() error, cfg.Clients)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < cfg.Clients; w++ {
+		d, cl, err := open()
+		if err != nil {
+			for j := 0; j < w; j++ {
+				closers[j]()
+			}
+			return ConcurrentResult{}, err
+		}
+		handles[w], closers[w] = d, cl
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := handles[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*9973))
+			rbuf := make([]byte, cfg.BlockSize)
+			wbuf := make([]byte, cfg.BlockSize)
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				i := rng.Intn(cfg.Blocks)
+				if rng.Float64() < cfg.ReadFraction {
+					n, err := d.Read(bids[i], rbuf)
+					if err != nil {
+						fail(fmt.Errorf("client %d read block %d: %w", w, i, err))
+						return
+					}
+					if err := checkPayload(rbuf[:n], i); err != nil {
+						fail(fmt.Errorf("client %d: %w", w, err))
+						return
+					}
+					atomic.AddInt64(&reads, 1)
+					atomic.AddInt64(&bytesMoved, int64(n))
+				} else {
+					concPayload(wbuf, i, w*cfg.OpsPerClient+op+1)
+					if err := d.Write(bids[i], wbuf); err != nil {
+						fail(fmt.Errorf("client %d write block %d: %w", w, i, err))
+						return
+					}
+					atomic.AddInt64(&writes, 1)
+					atomic.AddInt64(&bytesMoved, int64(cfg.BlockSize))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	for _, cl := range closers {
+		if err := cl(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return ConcurrentResult{}, firstErr
+	}
+	if err := setup.DeleteList(lid, ld.NilList); err != nil {
+		return ConcurrentResult{}, err
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return ConcurrentResult{}, err
+	}
+	return ConcurrentResult{
+		Name:    name,
+		Clients: cfg.Clients,
+		Reads:   reads,
+		Writes:  writes,
+		Bytes:   bytesMoved,
+		Seconds: elapsed,
+	}, nil
+}
+
+// Mix is a named read/write ratio for the concurrent suite.
+type Mix struct {
+	Name         string
+	ReadFraction float64
+	Compress     bool
+}
+
+// StandardMixes returns the three mixes the concurrency experiments use.
+// The read-heavy mix runs against a Compress-hinted list so reads carry
+// real per-call decompression CPU — the component a shared-lock read path
+// serializes and a reader/writer path overlaps.
+func StandardMixes() []Mix {
+	return []Mix{
+		{Name: "read-heavy", ReadFraction: 0.95, Compress: true},
+		{Name: "mixed", ReadFraction: 0.50},
+		{Name: "write-heavy", ReadFraction: 0.10},
+	}
+}
+
+// RunConcurrentSuite runs every standard mix at each client count against
+// open, returning one result per (mix, clients) pair.
+func RunConcurrentSuite(open OpenFunc, clients []int, base ConcurrentConfig) ([]ConcurrentResult, error) {
+	var results []ConcurrentResult
+	for _, mix := range StandardMixes() {
+		for _, n := range clients {
+			cfg := base
+			cfg.Clients = n
+			cfg.ReadFraction = mix.ReadFraction
+			cfg.Compress = mix.Compress
+			r, err := RunConcurrent(mix.Name, open, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d clients: %w", mix.Name, n, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,200 @@
+package ldmicro_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/ldmicro"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
+	"repro/internal/netld/faultconn"
+	"repro/internal/netld/server"
+)
+
+// newBenchLLD builds an in-process LLD on a 64-MB simulated disk, sized so
+// the concurrent working set plus rewrite churn never exhausts space.
+func newBenchLLD(tb testing.TB) *lld.LLD {
+	tb.Helper()
+	d := disk.New(disk.DefaultConfig(64 << 20))
+	o := lld.DefaultOptions()
+	o.CompressBandwidth = 0 // wall-time benchmarks; no virtual CPU charge
+	if err := lld.Format(d, o); err != nil {
+		tb.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { l.Shutdown(true) })
+	return l
+}
+
+// newBenchNetOpen starts an LLD-backed netld server on loopback TCP and
+// returns an OpenFunc that dials a fresh connection per client. A nonzero
+// linkDelay wraps each connection with a deterministic per-I/O sleep of
+// mean linkDelay/2, modeling a latency-bearing link: each client's RPCs
+// serialize on its own slow connection, so added clients hide latency by
+// overlapping round trips — the regime the paper's client/server split
+// (LD on a dedicated server machine) actually runs in.
+func newBenchNetOpen(tb testing.TB, linkDelay time.Duration) ldmicro.OpenFunc {
+	tb.Helper()
+	l := newBenchLLD(tb)
+	srv := server.New(server.Config{Disk: l})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Skipf("loopback unavailable: %v", err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	tb.Cleanup(func() { srv.Close() })
+	var seed int64
+	return func() (ld.Disk, func() error, error) {
+		seed++
+		mySeed := seed
+		dial := func() (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			// The first open is RunConcurrent's setup handle; it gets a
+			// fast link so working-set preparation stays out of the
+			// measured path's latency regime.
+			if err != nil || linkDelay == 0 || mySeed == 1 {
+				return c, err
+			}
+			return faultconn.Wrap(c, faultconn.Config{
+				Seed:      mySeed,
+				DelayProb: 1,
+				MaxDelay:  linkDelay,
+			}), nil
+		}
+		c, err := client.New(dial, client.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c.Close, nil
+	}
+}
+
+// TestRunConcurrentMixes runs every standard mix briefly in-process and
+// checks the operation accounting and payload verification hold up.
+func TestRunConcurrentMixes(t *testing.T) {
+	l := newBenchLLD(t)
+	open := ldmicro.SingleHandle(l)
+	for _, mix := range ldmicro.StandardMixes() {
+		cfg := ldmicro.ConcurrentConfig{
+			Clients:      4,
+			Blocks:       64,
+			OpsPerClient: 200,
+			ReadFraction: mix.ReadFraction,
+			Compress:     mix.Compress,
+		}
+		r, err := ldmicro.RunConcurrent(mix.Name, open, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		if got, want := r.Ops(), int64(4*200); got != want {
+			t.Errorf("%s: %d ops, want %d", mix.Name, got, want)
+		}
+		if r.Reads == 0 || (mix.ReadFraction < 1 && r.Writes == 0) {
+			t.Errorf("%s: degenerate mix: %d reads, %d writes", mix.Name, r.Reads, r.Writes)
+		}
+	}
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("invariants after suite: %v", viol)
+	}
+}
+
+// TestRunConcurrentOverNet runs one mixed workload through per-client netld
+// connections against a shared server.
+func TestRunConcurrentOverNet(t *testing.T) {
+	open := newBenchNetOpen(t, 0)
+	r, err := ldmicro.RunConcurrent("mixed", open, ldmicro.ConcurrentConfig{
+		Clients:      4,
+		Blocks:       64,
+		OpsPerClient: 100,
+		ReadFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Ops(), int64(4*100); got != want {
+		t.Errorf("%d ops, want %d", got, want)
+	}
+}
+
+// benchConcurrent runs one (mix, clients) point per benchmark iteration and
+// reports aggregate throughput as ops/s.
+func benchConcurrent(b *testing.B, open ldmicro.OpenFunc, mix ldmicro.Mix, clients int) {
+	b.Helper()
+	cfg := ldmicro.ConcurrentConfig{
+		Clients:      clients,
+		ReadFraction: mix.ReadFraction,
+		Compress:     mix.Compress,
+	}
+	var opsPerSec float64
+	for i := 0; i < b.N; i++ {
+		r, err := ldmicro.RunConcurrent(mix.Name, open, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opsPerSec = r.OpsPerSec()
+	}
+	b.ReportMetric(opsPerSec, "ops/s")
+}
+
+// BenchmarkConcurrentLocal measures multi-client throughput against an
+// in-process LLD for each standard mix at 1, 4, and 16 clients.
+func BenchmarkConcurrentLocal(b *testing.B) {
+	for _, mix := range ldmicro.StandardMixes() {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mix.Name, clients), func(b *testing.B) {
+				l := newBenchLLD(b)
+				benchConcurrent(b, ldmicro.SingleHandle(l), mix, clients)
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentNet is the same suite through netld over loopback TCP
+// with one connection per client.
+func BenchmarkConcurrentNet(b *testing.B) {
+	for _, mix := range ldmicro.StandardMixes() {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mix.Name, clients), func(b *testing.B) {
+				benchConcurrent(b, newBenchNetOpen(b, 0), mix, clients)
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentNetSlowLink runs the suite over per-client connections
+// that each carry a deterministic ~0.5ms-mean per-I/O delay. A single client
+// is latency-bound (its synchronous RPCs serialize on its own link), so the
+// throughput gain from added clients measures how well the server's
+// concurrent read path overlaps independent requests.
+func BenchmarkConcurrentNetSlowLink(b *testing.B) {
+	for _, mix := range ldmicro.StandardMixes() {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mix.Name, clients), func(b *testing.B) {
+				open := newBenchNetOpen(b, time.Millisecond)
+				cfg := ldmicro.ConcurrentConfig{
+					Clients:      clients,
+					OpsPerClient: 300,
+					ReadFraction: mix.ReadFraction,
+					Compress:     mix.Compress,
+				}
+				var opsPerSec float64
+				for i := 0; i < b.N; i++ {
+					r, err := ldmicro.RunConcurrent(mix.Name, open, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opsPerSec = r.OpsPerSec()
+				}
+				b.ReportMetric(opsPerSec, "ops/s")
+			})
+		}
+	}
+}

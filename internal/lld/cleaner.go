@@ -464,7 +464,7 @@ func (l *LLD) Reorganize(n int) error {
 			if !bi.hasData() {
 				continue
 			}
-			stored, err := l.readStored(bi)
+			stored, err := l.readStored(bi, &l.scratch)
 			if err != nil {
 				return err
 			}

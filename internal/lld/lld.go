@@ -126,8 +126,21 @@ type Stats struct {
 }
 
 // LLD is a log-structured Logical Disk. It implements ld.Disk.
+//
+// Concurrency model. mu is a reader/writer lock: non-mutating commands
+// (Read, ListBlocks, Lists, ListIndex, BlockSize, and the reporting
+// getters) hold it shared and run concurrently; every mutating command
+// (Write, allocation, list surgery, Flush, the cleaner, ARU brackets,
+// Shutdown) holds it exclusively. Because mutators are exclusive, a
+// shared holder sees a frozen block-number map, list table, and open
+// segment — including l.cur.buf, whose bytes only change under the write
+// lock — so reads never observe a half-filled segment buffer. The two
+// pieces of state the read path does mutate are handled separately:
+// read-path statistics counters are updated atomically (see Stats), and
+// the per-list ListIndex cursor memo is guarded by cursorMu, which nests
+// strictly inside mu and is never held across I/O.
 type LLD struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	dsk  *disk.Disk
 	opts Options
 	lay  layout
@@ -171,9 +184,19 @@ type LLD struct {
 	fenceLo, fenceHi uint64
 
 	stats    Stats
-	scratch  []byte
+	scratch  []byte // scratch for exclusive-lock paths (cleaner, reorganizer)
 	cleanBuf []byte // reusable victim image for the cleaner
 	segBuf   []byte // reusable fill buffer for the open segment
+
+	// cursorMu guards the per-list ListIndex cursor memo (listInfo.curIdx,
+	// listInfo.curBlk) for holders of the shared lock; exclusive holders
+	// touch the cursors directly. It nests inside mu and is never held
+	// across I/O.
+	cursorMu sync.Mutex
+
+	// readBufs pools per-call scratch buffers for the shared-lock read
+	// path, which cannot use l.scratch without serializing readers.
+	readBufs sync.Pool
 }
 
 // compile-time interface check.
@@ -311,11 +334,27 @@ func (l *LLD) nextTS() uint64 {
 }
 
 // Stats returns a copy of the accumulated statistics.
+//
+// The counters touched by the shared-lock read path (BlocksRead,
+// UserBytesRead, and recovery's sweep counter) are updated with atomic
+// adds; everything else is written under the exclusive lock. Stats takes
+// the exclusive lock, which orders it after every concurrent reader, so a
+// plain struct copy is sound.
 func (l *LLD) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.stats
 }
+
+// getReadBuf returns a scratch buffer for a shared-lock read.
+func (l *LLD) getReadBuf() []byte {
+	if b, ok := l.readBufs.Get().(*[]byte); ok {
+		return *b
+	}
+	return make([]byte, l.lay.maxBlockSize+2*l.lay.sectorSize)
+}
+
+func (l *LLD) putReadBuf(b []byte) { l.readBufs.Put(&b) }
 
 // ResetStats zeroes the statistics counters.
 func (l *LLD) ResetStats() {
@@ -340,15 +379,15 @@ func (l *LLD) MaxBlocks() int { return l.lay.maxBlocks }
 
 // FreeSegments returns the number of immediately allocatable segments.
 func (l *LLD) FreeSegments() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return len(l.freeSegs)
 }
 
 // LiveBytes returns the total live user bytes currently stored.
 func (l *LLD) LiveBytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.liveBytes
 }
 
@@ -357,7 +396,8 @@ func (l *LLD) UsableBytes() int64 {
 	return int64(float64(l.lay.usableBytes()) * l.opts.UtilizationLimit)
 }
 
-// checkOpen reports ErrShutdown after Shutdown. Callers hold l.mu.
+// checkOpen reports ErrShutdown after Shutdown. Callers hold l.mu
+// (shared suffices).
 func (l *LLD) checkOpen() error {
 	if l.shut {
 		return ld.ErrShutdown
@@ -365,7 +405,8 @@ func (l *LLD) checkOpen() error {
 	return nil
 }
 
-// blockAt validates and returns the map entry for b. Callers hold l.mu.
+// blockAt validates and returns the map entry for b. Callers hold l.mu
+// (shared suffices).
 func (l *LLD) blockAt(b ld.BlockID) (*blockInfo, error) {
 	if b == ld.NilBlock || int(b) >= len(l.blocks) {
 		return nil, fmt.Errorf("%w: %d", ld.ErrBadBlock, b)
@@ -377,7 +418,8 @@ func (l *LLD) blockAt(b ld.BlockID) (*blockInfo, error) {
 	return bi, nil
 }
 
-// listAt validates and returns the list table entry for lid. Callers hold l.mu.
+// listAt validates and returns the list table entry for lid. Callers hold
+// l.mu (shared suffices).
 func (l *LLD) listAt(lid ld.ListID) (*listInfo, error) {
 	li, ok := l.lists[lid]
 	if !ok {

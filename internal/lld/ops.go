@@ -2,15 +2,23 @@ package lld
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/compress"
 	"repro/internal/ld"
 )
 
 // Read implements ld.Disk. It returns the number of bytes copied into buf.
+//
+// Read holds the lock shared, so any number of reads run concurrently
+// with each other (and with the other non-mutating commands); the block
+// map, the open segment buffer, and sealed segments are all frozen while
+// any shared holder is inside. Per-call scratch comes from a pool and the
+// statistics counters are updated atomically, keeping the fast path free
+// of writes to shared state.
 func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if err := l.checkOpen(); err != nil {
 		return 0, err
 	}
@@ -21,11 +29,13 @@ func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
 	if !bi.hasData() {
 		return 0, nil
 	}
-	stored, err := l.readStored(bi)
+	scratch := l.getReadBuf()
+	defer func() { l.putReadBuf(scratch) }() // readStored may grow scratch
+	stored, err := l.readStored(bi, &scratch)
 	if err != nil {
 		return 0, err
 	}
-	l.stats.BlocksRead++
+	atomic.AddInt64(&l.stats.BlocksRead, 1)
 	if bi.flags&bComp != 0 {
 		out, err := compress.Decompress(make([]byte, 0, bi.orig), stored, int(bi.orig))
 		if err != nil {
@@ -33,11 +43,11 @@ func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
 		}
 		l.dsk.AdvanceIdle(l.opts.compressDelay(int(bi.orig)))
 		n := copy(buf, out)
-		l.stats.UserBytesRead += int64(n)
+		atomic.AddInt64(&l.stats.UserBytesRead, int64(n))
 		return n, nil
 	}
 	n := copy(buf, stored)
-	l.stats.UserBytesRead += int64(n)
+	atomic.AddInt64(&l.stats.UserBytesRead, int64(n))
 	return n, nil
 }
 
@@ -562,8 +572,8 @@ func (l *LLD) CancelReservation(n int) error {
 
 // ReservedBytes reports the outstanding reservation, for tests and tools.
 func (l *LLD) ReservedBytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.reservedBytes
 }
 
@@ -595,10 +605,11 @@ func (l *LLD) SwapContents(a, b ld.BlockID) error {
 	return l.emitDataSnap(b)
 }
 
-// ListBlocks implements ld.Disk.
+// ListBlocks implements ld.Disk. It holds the lock shared: the chain it
+// walks cannot change while any reader is inside.
 func (l *LLD) ListBlocks(lid ld.ListID) ([]ld.BlockID, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if err := l.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -614,9 +625,12 @@ func (l *LLD) ListBlocks(lid ld.ListID) ([]ld.BlockID, error) {
 }
 
 // ListIndex implements ld.Disk: offset addressing into a list (paper §5.4).
+// It runs under the shared lock; the cursor memo is the one thing it
+// writes, so cursor access goes through cursorMu (mutators, which hold the
+// lock exclusively, touch cursors directly — the two can never overlap).
 func (l *LLD) ListIndex(lid ld.ListID, i int) (ld.BlockID, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if err := l.checkOpen(); err != nil {
 		return ld.NilBlock, err
 	}
@@ -628,24 +642,30 @@ func (l *LLD) ListIndex(lid ld.ListID, i int) (ld.BlockID, error) {
 		return ld.NilBlock, fmt.Errorf("%w: index %d out of range (list has %d blocks)", ld.ErrBadBlock, i, li.count)
 	}
 	// Resume from the memoized cursor when it helps; sequential scans and
-	// repeated lookups become O(1) amortized.
+	// repeated lookups become O(1) amortized. Any cursor set under the
+	// shared lock describes the same frozen chain, so a stale-looking memo
+	// from a concurrent reader is still correct to resume from.
 	b := li.first
 	step := i
+	l.cursorMu.Lock()
 	if li.curBlk != ld.NilBlock && li.curIdx <= i {
 		b = li.curBlk
 		step = i - li.curIdx
 	}
+	l.cursorMu.Unlock()
 	for ; step > 0; step-- {
 		b = l.blocks[b].next
 	}
+	l.cursorMu.Lock()
 	li.curIdx, li.curBlk = i, b
+	l.cursorMu.Unlock()
 	return b, nil
 }
 
 // Lists implements ld.Disk.
 func (l *LLD) Lists() ([]ld.ListID, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if err := l.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -656,8 +676,8 @@ func (l *LLD) Lists() ([]ld.ListID, error) {
 
 // ListCount returns the number of blocks on lid, for tests and tools.
 func (l *LLD) ListCount(lid ld.ListID) (int, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	li, err := l.listAt(lid)
 	if err != nil {
 		return 0, err
@@ -667,8 +687,8 @@ func (l *LLD) ListCount(lid ld.ListID) (int, error) {
 
 // ListHints returns the hints lid was created with.
 func (l *LLD) ListHints(lid ld.ListID) (ld.ListHints, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	li, err := l.listAt(lid)
 	if err != nil {
 		return ld.ListHints{}, err
@@ -678,8 +698,8 @@ func (l *LLD) ListHints(lid ld.ListID) (ld.ListHints, error) {
 
 // BlockSize implements ld.Disk.
 func (l *LLD) BlockSize(b ld.BlockID) (int, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if err := l.checkOpen(); err != nil {
 		return 0, err
 	}

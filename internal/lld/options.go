@@ -21,6 +21,7 @@ package lld
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -113,6 +114,15 @@ type Options struct {
 	// hold live+reserved bytes; beyond it allocations fail with
 	// ld.ErrNoSpace. Keeping headroom is what keeps cleaning affordable.
 	UtilizationLimit float64
+
+	// RecoveryWorkers is the number of goroutines the one-sweep recovery
+	// (§3.6) uses to read and decode segment summaries. The fan-out stage
+	// is embarrassingly parallel per segment; the replay it feeds stays
+	// sequential and timestamp-ordered, so the recovered state is
+	// byte-identical for any worker count. 1 forces the sequential sweep;
+	// 0 picks min(GOMAXPROCS, 8). It is a runtime knob, not geometry: it
+	// is never written to disk.
+	RecoveryWorkers int
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -155,6 +165,18 @@ func (o Options) validate(sectorSize int) error {
 		return fmt.Errorf("lld: utilization limit %v out of (0,1]", o.UtilizationLimit)
 	}
 	return nil
+}
+
+// recoveryWorkers resolves the configured worker count to an effective one.
+func (o Options) recoveryWorkers() int {
+	w := o.RecoveryWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	return w
 }
 
 // compressDelay returns the modeled CPU time to (de)compress n bytes.

@@ -2,6 +2,8 @@ package lld
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ld"
 )
@@ -112,10 +114,75 @@ func (rs *recState) orderInsertAfter(lid, pred ld.ListID) {
 	rs.order[idx] = lid
 }
 
+// sweepSummaries reads and decodes every segment's summary slots, fanning
+// the work out over a pool of opts.RecoveryWorkers goroutines. The result
+// slice is indexed by segment id (nil for empty/foreign/torn summaries),
+// so downstream processing in id order is identical for any worker count;
+// the simulated disk serializes the reads itself, and decodeSummary copies
+// everything out of the worker's read buffer. Only the first read error is
+// reported.
+func (l *LLD) sweepSummaries() ([]*summaryInfo, error) {
+	lay := l.lay
+	results := make([]*summaryInfo, lay.nSegments)
+	workers := l.opts.recoveryWorkers()
+	if workers > lay.nSegments {
+		workers = lay.nSegments
+	}
+	if workers <= 1 {
+		sum := make([]byte, 2*lay.summarySize)
+		for i := 0; i < lay.nSegments; i++ {
+			if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+				return nil, err
+			}
+			if si, err := decodeNewestSummary(sum, lay, i); err == nil {
+				results[i] = si
+			}
+		}
+		return results, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		sweepErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum := make([]byte, 2*lay.summarySize)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= lay.nSegments {
+					return
+				}
+				if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+					errOnce.Do(func() { sweepErr = err })
+					return
+				}
+				if si, err := decodeNewestSummary(sum, lay, i); err == nil {
+					results[i] = si
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	return results, nil
+}
+
 // recoverSweep reads all summaries and rebuilds the state. floor is the
 // newest consolidation-checkpoint timestamp: records at or below it are
 // already reflected in the checkpoint-loaded state (seeded=true) and are
 // skipped. With no checkpoint, floor is 0 and the sweep starts empty.
+//
+// The sweep itself (read + decode of every summary) fans out over a
+// worker pool; everything from the timestamp merge on is sequential and
+// deterministic, so the recovered state is byte-identical to the
+// single-worker sweep on the same image (recovery_parallel_test.go holds
+// the two against each other).
 func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 	lay := l.lay
 
@@ -123,15 +190,14 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 		si *summaryInfo
 		id int
 	}
+	decoded, err := l.sweepSummaries()
+	if err != nil {
+		return err
+	}
+	l.stats.RecoverySweepSegments += int64(lay.nSegments)
 	var summaries []segRecord
-	sum := make([]byte, 2*lay.summarySize)
-	for i := 0; i < lay.nSegments; i++ {
-		if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
-			return err
-		}
-		l.stats.RecoverySweepSegments++
-		si, err := decodeNewestSummary(sum, lay, i)
-		if err != nil {
+	for i, si := range decoded {
+		if si == nil {
 			// Empty, foreign, or torn summary: without a checkpoint the
 			// segment holds nothing; with one, trust the checkpoint state.
 			if !seeded {

@@ -397,8 +397,11 @@ func (l *LLD) chargeCompression() {
 
 // readStored returns the stored bytes of a block, either from the open
 // segment in memory or from disk (reading whole sectors around the block).
-// Callers hold l.mu.
-func (l *LLD) readStored(bi *blockInfo) ([]byte, error) {
+// The caller supplies the scratch buffer (grown in place as needed) so
+// shared-lock readers can each bring their own; the returned slice aliases
+// either *scratch or the open segment buffer. Callers hold l.mu — shared
+// suffices, since the open segment only changes under the exclusive lock.
+func (l *LLD) readStored(bi *blockInfo, scratch *[]byte) ([]byte, error) {
 	if bi.stored == 0 {
 		return nil, nil
 	}
@@ -410,12 +413,13 @@ func (l *LLD) readStored(bi *blockInfo) ([]byte, error) {
 	first := int64(bi.off) / int64(ss) * int64(ss)
 	end := (int64(bi.off) + int64(bi.stored) + int64(ss) - 1) / int64(ss) * int64(ss)
 	span := int(end - first)
-	if span > len(l.scratch) {
-		l.scratch = make([]byte, span)
+	if span > len(*scratch) {
+		*scratch = make([]byte, span)
 	}
-	if err := l.dsk.ReadAt(l.scratch[:span], segBase+first); err != nil {
+	buf := *scratch
+	if err := l.dsk.ReadAt(buf[:span], segBase+first); err != nil {
 		return nil, err
 	}
 	rel := int64(bi.off) - first
-	return l.scratch[rel : rel+int64(bi.stored)], nil
+	return buf[rel : rel+int64(bi.stored)], nil
 }

@@ -60,6 +60,32 @@ type OpStats struct {
 	Buckets [16]uint64
 }
 
+// Quantile returns an approximate latency quantile (0 < q <= 1) from the
+// log2 histogram: the upper bound of the bucket holding the q-th request,
+// so the true value is within 2x below the returned one. Zero if no
+// requests were recorded.
+func (o OpStats) Quantile(q float64) time.Duration {
+	var total uint64
+	for _, c := range o.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total)*q + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range o.Buckets {
+		cum += c
+		if cum >= target {
+			return time.Microsecond << i
+		}
+	}
+	return time.Microsecond << (len(o.Buckets) - 1)
+}
+
 // Stats is a snapshot of server counters, in the spirit of expvar.
 type Stats struct {
 	SessionsOpened   uint64
