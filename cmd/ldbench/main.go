@@ -26,6 +26,13 @@
 //	ldbench -conc                          # concurrent suite, in-process LLD
 //	ldbench -conc -clients 1,4,16          # choose the client counts
 //	ldbench -conc -remote localhost:7093   # same suite over netld
+//
+// The cleaner-stall benchmark runs the same write-heavy workload on a
+// space-tight in-process LLD twice — once with inline cleaning on the
+// write path, once with the background cleaner goroutine — and reports
+// the per-write stall quantiles side by side:
+//
+//	ldbench -cleanbench
 package main
 
 import (
@@ -66,6 +73,59 @@ func localMicroDisk() (ld.Disk, error) {
 		return nil, err
 	}
 	return lld.Open(d, o)
+}
+
+// stallDisk builds the space-tight LLD for the cleaner-stall benchmark:
+// 4 MB of disk with 128 KiB segments, so the workload's working set
+// occupies most of it and rewrites keep cycling the free-segment pool
+// through the cleaning watermarks.
+func stallDisk(background bool) (ld.Disk, error) {
+	d := disk.New(disk.DefaultConfig(4 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 128 * 1024
+	o.SummarySize = 4 * 1024
+	o.CompressBandwidth = 0
+	if background {
+		o.BackgroundClean = true
+		o.CleanStepSegments = 1
+	}
+	if err := lld.Format(d, o); err != nil {
+		return nil, err
+	}
+	return lld.Open(d, o)
+}
+
+// runCleanBench runs the write-stall workload twice — inline cleaning,
+// then the background cleaner — and prints the quantiles side by side.
+func runCleanBench(clients, ops int) error {
+	fmt.Printf("# LD cleaner stalls — per-write latency on a space-tight disk, %d clients × %d rewrites\n", clients, ops)
+	cfg := ldmicro.StallConfig{Clients: clients, OpsPerClient: ops}
+	var results []ldmicro.StallResult
+	for _, mode := range []struct {
+		name       string
+		background bool
+	}{{"inline cleaning", false}, {"background cleaner", true}} {
+		l, err := stallDisk(mode.background)
+		if err != nil {
+			return err
+		}
+		r, err := ldmicro.RunWriteStall(mode.name, ldmicro.SingleHandle(l), cfg)
+		if err != nil {
+			l.Shutdown(true)
+			return err
+		}
+		if err := l.Shutdown(true); err != nil {
+			return err
+		}
+		fmt.Println(r)
+		results = append(results, r)
+	}
+	if s, b := results[0], results[1]; b.P99 > 0 {
+		fmt.Printf("p99 writer stall: %s inline vs %s background (%.2fx)\n",
+			s.P99.Round(time.Microsecond), b.P99.Round(time.Microsecond),
+			float64(s.P99)/float64(b.P99))
+	}
+	return nil
 }
 
 // parseClients parses a comma-separated client-count list like "1,4,16".
@@ -110,15 +170,26 @@ func main() {
 	conc := flag.Bool("conc", false, "run the multi-client throughput suite (in-process, or against -remote)")
 	concClients := flag.String("clients", "1,4,16", "comma-separated client counts for -conc")
 	concOps := flag.Int("conc-ops", 2000, "operations per client for -conc")
+	cleanbench := flag.Bool("cleanbench", false, "run the sync-vs-background cleaner writer-stall comparison")
+	cleanOps := flag.Int("clean-ops", 500, "rewrites per client for -cleanbench")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
-		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
+
+	if *cleanbench {
+		if err := runCleanBench(4, *cleanOps); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *conc {
 		clients, err := parseClients(*concClients)

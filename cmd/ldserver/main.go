@@ -64,6 +64,10 @@ func main() {
 	segment := flag.String("segment", "512K", "LLD segment size for a fresh format")
 	recoveryWorkers := flag.Int("recovery-workers", 0,
 		"goroutines for the one-sweep startup recovery (0 = min(GOMAXPROCS, 8), 1 = sequential)")
+	bgClean := flag.Bool("bg-clean", false,
+		"run segment cleaning in a background goroutine with bounded per-step lock holds")
+	cleanStep := flag.Int("clean-step", 1,
+		"victim segments the background cleaner processes per lock acquisition (with -bg-clean)")
 	quiet := flag.Bool("q", false, "suppress per-event logging")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldserver [flags]\n\nFlags:\n")
@@ -75,6 +79,14 @@ backing LLD under a shared lock; mutating commands are exclusive. There is
 no worker-pool knob for request handling — concurrency equals the number
 of connected clients with in-flight requests. -recovery-workers controls
 only the parallel summary sweep during startup recovery of a crashed image.
+
+With -bg-clean, segment cleaning runs in a goroutine owned by the LLD
+instead of inline on the write path: a write that trips the cleaning
+watermark signals the goroutine and continues, and the goroutine holds the
+exclusive lock for at most -clean-step victim segments at a time, so the
+worst-case pause a request sees is one bounded step rather than a whole
+multi-segment pass. Writes block only when the free-segment pool is truly
+exhausted.
 
 On graceful shutdown (SIGINT/SIGTERM) the server drains in-flight
 requests, checkpoints the LLD, and prints a per-opcode latency table
@@ -95,6 +107,8 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	opts := lld.DefaultOptions()
 	opts.SegmentSize = int(segSize)
 	opts.RecoveryWorkers = *recoveryWorkers
+	opts.BackgroundClean = *bgClean
+	opts.CleanStepSegments = *cleanStep
 
 	var d *disk.Disk
 	needFormat := true
@@ -163,6 +177,13 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 		}
 		fmt.Fprintf(os.Stderr, "ldserver: image saved to %s\n", *img)
 	}
+	if ll, ok := cur.(*lld.LLD); ok {
+		s := ll.Stats()
+		fmt.Fprintf(os.Stderr,
+			"ldserver: cleaner: %d runs, %d segments cleaned, %d moved blocks; background: %d passes, %d steps, %d errors, %d writer waits\n",
+			s.CleanerRuns, s.SegmentsCleaned, s.BlocksMoved,
+			s.BGCleanPasses, s.BGCleanSteps, s.BGCleanErrors, s.WriterWaits)
+	}
 	printStats(srv.Stats(), *quiet)
 }
 
@@ -184,11 +205,20 @@ func printStats(st server.Stats, quiet bool) {
 		"ldserver: served %d requests (%d errors) over %d sessions; %d ARU aborts, %d proto errors\n",
 		total, errs, st.SessionsOpened, st.ARUAborts, st.ProtoErrors)
 	if len(names) > 0 {
+		// A quantile landing in the histogram's overflow bucket is a floor,
+		// not an exact bound; mark it "≥" rather than passing it off.
+		q := func(op server.OpStats, p float64) string {
+			d, over := op.QuantileBound(p)
+			if over {
+				return "≥" + d.String()
+			}
+			return d.String()
+		}
 		fmt.Fprintf(os.Stderr, "%-14s %10s %8s %10s %10s\n", "op", "count", "errors", "p50", "p99")
 		for _, name := range names {
 			op := st.Ops[name]
-			fmt.Fprintf(os.Stderr, "%-14s %10d %8d %10v %10v\n",
-				name, op.Count, op.Errors, op.Quantile(0.50), op.Quantile(0.99))
+			fmt.Fprintf(os.Stderr, "%-14s %10d %8d %10s %10s\n",
+				name, op.Count, op.Errors, q(op, 0.50), q(op, 0.99))
 		}
 	}
 	if !quiet {

@@ -1,0 +1,209 @@
+package ldmicro
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ld"
+)
+
+// StallConfig sizes a write-heavy workload whose point is not throughput
+// but the latency distribution of individual writes: on a space-tight
+// disk, a write that trips the cleaning watermark stalls for the whole
+// inline pass, while a background cleaner bounds that stall to at most
+// one step. The working set should occupy most of the disk so rewrites
+// actually force cleaning.
+type StallConfig struct {
+	// Clients is the number of concurrent writers. Default 4.
+	Clients int
+	// Blocks is the shared working-set size. Default 256.
+	Blocks int
+	// BlockSize is the payload size per block. Default 4 KiB.
+	BlockSize int
+	// OpsPerClient is how many writes each worker issues. Default 500.
+	OpsPerClient int
+	// Seed makes the per-worker block choice reproducible. Default 1.
+	Seed int64
+}
+
+func (c StallConfig) withDefaults() StallConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 256
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StallResult aggregates the per-write latency distribution of one run.
+type StallResult struct {
+	Name    string
+	Clients int
+	Writes  int64
+	Seconds float64
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// String renders one result line.
+func (r StallResult) String() string {
+	return fmt.Sprintf("%-22s %2d clients %7d writes in %7.3fs  p50 %8s  p90 %8s  p99 %8s  max %8s",
+		r.Name, r.Clients, r.Writes, r.Seconds,
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// quantileDur returns the q-quantile of a sorted duration slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// RunWriteStall prepares a Blocks-block working set, then has Clients
+// workers rewrite random blocks while timing every individual Write call,
+// and reports the stall quantiles. Whether cleaning runs inline (stalling
+// the measured write) or in a background goroutine is decided by the
+// options behind open; the workload is identical either way.
+func RunWriteStall(name string, open OpenFunc, cfg StallConfig) (StallResult, error) {
+	cfg = cfg.withDefaults()
+
+	setup, closeSetup, err := open()
+	if err != nil {
+		return StallResult{}, err
+	}
+	defer closeSetup()
+
+	lid, err := setup.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		return StallResult{}, err
+	}
+	bids := make([]ld.BlockID, cfg.Blocks)
+	buf := make([]byte, cfg.BlockSize)
+	pred := ld.NilBlock
+	for i := range bids {
+		b, err := setup.NewBlock(lid, pred)
+		if err != nil {
+			return StallResult{}, fmt.Errorf("setup block %d: %w", i, err)
+		}
+		concPayload(buf, i, 0)
+		if err := setup.Write(b, buf); err != nil {
+			return StallResult{}, fmt.Errorf("setup write %d: %w", i, err)
+		}
+		bids[i], pred = b, b
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return StallResult{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		lats     = make([][]time.Duration, cfg.Clients)
+		handles  = make([]ld.Disk, cfg.Clients)
+		closers  = make([]func() error, cfg.Clients)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < cfg.Clients; w++ {
+		d, cl, err := open()
+		if err != nil {
+			for j := 0; j < w; j++ {
+				closers[j]()
+			}
+			return StallResult{}, err
+		}
+		handles[w], closers[w] = d, cl
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := handles[w]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*9973))
+			wbuf := make([]byte, cfg.BlockSize)
+			lat := make([]time.Duration, 0, cfg.OpsPerClient)
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				i := rng.Intn(cfg.Blocks)
+				concPayload(wbuf, i, w*cfg.OpsPerClient+op+1)
+				t0 := time.Now()
+				err := d.Write(bids[i], wbuf)
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("client %d write block %d: %w", w, i, err))
+					return
+				}
+			}
+			mu.Lock()
+			lats[w] = lat
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	for _, cl := range closers {
+		if err := cl(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return StallResult{}, firstErr
+	}
+	if err := setup.DeleteList(lid, ld.NilList); err != nil {
+		return StallResult{}, err
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return StallResult{}, err
+	}
+
+	var all []time.Duration
+	for _, lat := range lats {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	res := StallResult{
+		Name:    name,
+		Clients: cfg.Clients,
+		Writes:  int64(len(all)),
+		Seconds: elapsed,
+		P50:     quantileDur(all, 0.50),
+		P90:     quantileDur(all, 0.90),
+		P99:     quantileDur(all, 0.99),
+	}
+	if n := len(all); n > 0 {
+		res.Max = all[n-1]
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package ldmicro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ldmicro"
+	"repro/internal/lld"
+)
+
+// newStallLLD builds an in-process LLD on a disk sized so the stall
+// workload's working set occupies most of it and rewrites force cleaning:
+// 4 MB of disk, 128 KiB segments, and a ~256×4 KiB ≈ 1 MB working set with
+// churn that cycles the free-segment pool through its watermarks.
+func newStallLLD(tb testing.TB, background bool) *lld.LLD {
+	tb.Helper()
+	d := disk.New(disk.DefaultConfig(4 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 128 * 1024
+	o.SummarySize = 4 * 1024
+	o.CompressBandwidth = 0
+	if background {
+		o.BackgroundClean = true
+		o.CleanStepSegments = 1
+	}
+	if err := lld.Format(d, o); err != nil {
+		tb.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { l.Shutdown(true) })
+	return l
+}
+
+// TestRunWriteStall runs the stall workload both ways briefly and checks
+// the accounting: every write measured, quantiles ordered, and cleaning
+// actually exercised (the run is meaningless on an idle cleaner).
+func TestRunWriteStall(t *testing.T) {
+	for _, mode := range []struct {
+		name       string
+		background bool
+	}{{"sync", false}, {"background", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			l := newStallLLD(t, mode.background)
+			r, err := ldmicro.RunWriteStall(mode.name, ldmicro.SingleHandle(l), ldmicro.StallConfig{
+				Clients:      4,
+				Blocks:       128,
+				OpsPerClient: 300,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := r.Writes, int64(4*300); got != want {
+				t.Errorf("%d writes, want %d", got, want)
+			}
+			if r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.Max {
+				t.Errorf("quantiles out of order: %v", r)
+			}
+			// A background pass still in flight when the writers finish
+			// completes shortly after; wait for quiescence before asserting.
+			deadline := time.Now().Add(10 * time.Second)
+			for mode.background && l.Stats().BGCleanPasses == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			s := l.Stats()
+			if s.SegmentsCleaned == 0 {
+				t.Error("workload never forced cleaning; stall numbers are vacuous")
+			}
+			if mode.background && s.BGCleanPasses == 0 {
+				t.Error("background mode never ran a background pass")
+			}
+			if viol := l.CheckInvariants(); len(viol) != 0 {
+				t.Fatalf("invariants after stall run: %v", viol)
+			}
+		})
+	}
+}
+
+// BenchmarkWriteStall is the sync-vs-background writer-stall comparison:
+// identical write-heavy workloads on a space-tight disk, one with inline
+// cleaning on the write path and one with the background goroutine. The
+// reported p99/max metrics — not ops/s — are the point.
+func BenchmarkWriteStall(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		background bool
+	}{{"sync", false}, {"background", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var r ldmicro.StallResult
+			for i := 0; i < b.N; i++ {
+				l := newStallLLD(b, mode.background)
+				res, err := ldmicro.RunWriteStall(mode.name, ldmicro.SingleHandle(l), ldmicro.StallConfig{
+					Clients:      4,
+					Blocks:       256,
+					OpsPerClient: 500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r = res
+			}
+			b.ReportMetric(float64(r.P99)/float64(time.Microsecond), "p99-µs")
+			b.ReportMetric(float64(r.Max)/float64(time.Microsecond), "max-µs")
+			b.ReportMetric(float64(r.Writes)/r.Seconds, "writes/s")
+		})
+	}
+}

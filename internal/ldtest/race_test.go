@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/ld"
@@ -176,11 +177,22 @@ func setupHammer(t *testing.T, d ld.Disk) (ld.ListID, []ld.BlockID) {
 // TestRaceHammerLocal hammers one in-process LLD: 8 readers, a writer, a
 // lister, and an explicit-cleaner goroutine all share the instance. The
 // writer churn also trips the automatic cleaner under the exclusive lock.
+// The background variant runs the same mix with the instance-owned cleaner
+// goroutine competing for the lock in bounded steps.
 func TestRaceHammerLocal(t *testing.T) {
+	t.Run("sync", func(t *testing.T) { runRaceHammerLocal(t, false) })
+	t.Run("background", func(t *testing.T) { runRaceHammerLocal(t, true) })
+}
+
+func runRaceHammerLocal(t *testing.T, background bool) {
 	d := disk.New(disk.DefaultConfig(16 << 20))
 	o := lld.DefaultOptions()
 	o.SegmentSize = 64 * 1024
 	o.SummarySize = 8 * 1024
+	if background {
+		o.BackgroundClean = true
+		o.CleanStepSegments = 1
+	}
 	if err := lld.Format(d, o); err != nil {
 		t.Fatal(err)
 	}
@@ -226,16 +238,23 @@ func TestRaceHammerLocal(t *testing.T) {
 	if viol := l.CheckInvariants(); len(viol) != 0 {
 		t.Fatalf("invariants after hammer: %v", viol)
 	}
+	if err := l.Shutdown(false); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }
 
 // newNetHammerFarm builds one LLD-backed netld server over net.Pipe and
 // returns a connect function handing out independent client connections.
-func newNetHammerFarm(t *testing.T) func() ld.Disk {
+func newNetHammerFarm(t *testing.T, background bool) func() ld.Disk {
 	t.Helper()
 	d := disk.New(disk.DefaultConfig(16 << 20))
 	o := lld.DefaultOptions()
 	o.SegmentSize = 64 * 1024
 	o.SummarySize = 8 * 1024
+	if background {
+		o.BackgroundClean = true
+		o.CleanStepSegments = 1
+	}
 	if err := lld.Format(d, o); err != nil {
 		t.Fatal(err)
 	}
@@ -265,13 +284,117 @@ func newNetHammerFarm(t *testing.T) func() ld.Disk {
 // TestRaceHammerNet runs the same hammer through a netld server with one
 // client connection per goroutine, over net.Pipe.
 func TestRaceHammerNet(t *testing.T) {
-	connect := newNetHammerFarm(t)
-	setupConn := connect()
-	lid, bids := setupHammer(t, setupConn)
+	run := func(background bool) func(*testing.T) {
+		return func(t *testing.T) {
+			connect := newNetHammerFarm(t, background)
+			setupConn := connect()
+			lid, bids := setupHammer(t, setupConn)
+
+			readers := make([]ld.Disk, raceReaders)
+			for i := range readers {
+				readers[i] = connect()
+			}
+			hammer(t, readers, setupConn, connect(), lid, bids)
+		}
+	}
+	t.Run("sync", run(false))
+	t.Run("background", run(true))
+}
+
+// TestCleanerInterleavings drives every path into the cleaner at once —
+// explicit Clean, Reorganize, the watermark check on the write path, and
+// the background goroutine — against live readers, while a watchdog
+// asserts the goroutine yields the exclusive lock between steps: a shared
+// acquisition must never stall for more than a generous bound.
+func TestCleanerInterleavings(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(2 << 20))
+	o := lld.DefaultOptions()
+	o.SegmentSize = 64 * 1024
+	o.SummarySize = 8 * 1024
+	o.BackgroundClean = true
+	o.CleanStepSegments = 1
+	if err := lld.Format(d, o); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lld.Open(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lid, bids := setupHammer(t, l)
+
+	stopClean := make(chan struct{})
+	stop := make(chan struct{})
+	var cleanWG, wg sync.WaitGroup
+	// Explicit cleaner and reorganizer compete with the goroutine.
+	cleanWG.Add(1)
+	go func() {
+		defer cleanWG.Done()
+		for {
+			select {
+			case <-stopClean:
+				return
+			default:
+			}
+			if _, err := l.Clean(1); err != nil {
+				t.Errorf("cleaner: %v", err)
+				return
+			}
+			if err := l.Reorganize(1); err != nil {
+				t.Errorf("reorganize: %v", err)
+				return
+			}
+		}
+	}()
+	// Watchdog: per-step lock holds must stay bounded. 2s is far above
+	// any single bounded step even under -race, and far below the hold of
+	// a cleaner that stops yielding (a full pass on this geometry).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			start := time.Now()
+			l.FreeSegments()
+			if held := time.Since(start); held > 2*time.Second {
+				t.Errorf("shared lock acquisition stalled %v; cleaner not yielding", held)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
 
 	readers := make([]ld.Disk, raceReaders)
 	for i := range readers {
-		readers[i] = connect()
+		readers[i] = l
 	}
-	hammer(t, readers, setupConn, connect(), lid, bids)
+	hammer(t, readers, l, l, lid, bids)
+	close(stopClean)
+	cleanWG.Wait()
+
+	// With the explicit cleaners stopped (the watchdog still running),
+	// keep writing until the pool drains to the low watermark, the write
+	// path signals the goroutine, and a background pass completes.
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; l.Stats().BGCleanPasses == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("background cleaner never completed a pass")
+		}
+		j := i % len(bids)
+		if err := l.Write(bids[j], racePayload(j, 1<<20+i)); err != nil {
+			t.Fatalf("drain write: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("invariants after interleavings: %v", viol)
+	}
+	if err := l.Shutdown(false); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }

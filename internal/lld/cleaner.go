@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/compress"
 	"repro/internal/ld"
@@ -28,24 +29,44 @@ var debugClean = os.Getenv("LLD_DEBUG") != ""
 // O(records in the victim). This is the paper's "removes old logging
 // information ... during cleaning" (§3.5) made precise.
 
-// maybeClean runs the cleaner if the free-segment pool is at or below the
-// low watermark. Callers hold l.mu.
-func (l *LLD) maybeClean() error {
-	if l.cleaning {
-		return nil
-	}
-	if len(l.freeSegs)+len(l.cooling) > l.opts.CleanLow {
-		return nil
-	}
-	l.cleaning = true
-	defer func() { l.cleaning = false }()
-	l.stats.CleanerRuns++
-	var skip map[int]bool
-	for iter := 0; len(l.freeSegs)+len(l.cooling)+len(l.pendingARU) < l.opts.CleanHigh && iter < 8*l.opts.CleanHigh; iter++ {
+// cleanPass carries the state of one cleaning pass across cleanSome calls,
+// so a pass split into lock-released steps (the background cleaner) walks
+// the identical victim sequence a single uninterrupted call would.
+type cleanPass struct {
+	// skip holds victims set aside by the bootstrap path: segments whose
+	// facts could not be re-logged for lack of space. The pass looks past
+	// them for a victim whose facts are all superseded.
+	skip map[int]bool
+
+	iters   int // victim attempts so far (bounds the pass)
+	maxIter int
+	cleaned int // segments successfully cleaned
+}
+
+// cleanSome is the shared victim loop behind every cleaning entry point:
+// the watermark path, the explicit Clean/Reorganize commands, and the
+// background goroutine. It processes victims until target (when non-nil)
+// reports satisfied, maxVictims segments (when positive) were cleaned in
+// this call, the pass's attempt budget runs out, or no victim qualifies.
+// finished is false only when the maxVictims bound stopped the call with
+// the pass still unfinished. Callers hold l.mu with l.cleaning set.
+func (l *LLD) cleanSome(p *cleanPass, maxVictims int, target func() bool) (finished bool, err error) {
+	done := 0
+	for {
+		if target != nil && target() {
+			return true, nil
+		}
+		if maxVictims > 0 && done >= maxVictims {
+			return false, nil
+		}
+		if p.iters >= p.maxIter {
+			return true, nil
+		}
+		p.iters++
 		before := len(l.freeSegs) + len(l.cooling) + len(l.pendingARU)
-		victim := l.pickVictim(skip)
+		victim := l.pickVictim(p.skip)
 		if victim < 0 {
-			break
+			return true, nil
 		}
 		if debugClean {
 			fmt.Printf("CLEAN victim=%d live=%d free=%d cooling=%d\n", victim, l.segs[victim].live, len(l.freeSegs), len(l.cooling))
@@ -57,24 +78,26 @@ func (l *LLD) maybeClean() error {
 				// first required write already failed), so set this victim
 				// aside and look for one whose facts are all superseded —
 				// freeing it needs no space at all.
-				if skip == nil {
-					skip = make(map[int]bool)
+				if p.skip == nil {
+					p.skip = make(map[int]bool)
 				}
-				skip[victim] = true
+				p.skip[victim] = true
 				continue
 			}
 			if debugClean {
 				fmt.Printf("CLEAN ERR %v\n", err)
 			}
-			return err
+			return true, err
 		}
+		p.cleaned++
+		done++
 		if len(l.freeSegs)+len(l.cooling)+len(l.pendingARU) <= before {
 			// Fact-bound victim: re-logging its summary cost as much as
 			// cleaning freed. Consolidate so old facts become droppable.
 			l.futility++
 			if l.futility >= 2 {
 				if err := l.consolidate(); err != nil {
-					return err
+					return true, err
 				}
 				l.futility = 0
 			}
@@ -82,35 +105,63 @@ func (l *LLD) maybeClean() error {
 			l.futility = 0
 		}
 	}
-	return nil
+}
+
+// watermarkTarget reports whether the free pool (counting cooling and
+// ARU-pending segments, which become free without further cleaning) has
+// reached the high watermark. Callers hold l.mu.
+func (l *LLD) watermarkTarget() bool {
+	return len(l.freeSegs)+len(l.cooling)+len(l.pendingARU) >= l.opts.CleanHigh
+}
+
+// maybeClean runs the cleaner if the free-segment pool is at or below the
+// low watermark. With a background cleaner attached it only signals the
+// goroutine — the caller proceeds on the segments still free and blocks
+// (in awaitFreeSegment) only when truly out. Callers hold l.mu.
+func (l *LLD) maybeClean() error {
+	if l.cleaning {
+		return nil
+	}
+	if len(l.freeSegs)+len(l.cooling) > l.opts.CleanLow {
+		return nil
+	}
+	if l.bg != nil {
+		l.bg.signal()
+		return nil
+	}
+	return l.cleanInline()
+}
+
+// cleanInline runs a whole watermark pass to completion under the held
+// lock — the synchronous path. Callers hold l.mu with l.cleaning unset.
+func (l *LLD) cleanInline() error {
+	l.cleaning = true
+	defer func() { l.cleaning = false }()
+	l.stats.CleanerRuns++
+	p := cleanPass{maxIter: 8 * l.opts.CleanHigh}
+	_, err := l.cleanSome(&p, 0, l.watermarkTarget)
+	return err
 }
 
 // Clean runs one cleaning pass explicitly (used by tools, benchmarks and
 // the idle reorganizer). It cleans up to n segments and returns how many
-// it cleaned.
+// it cleaned. Like the watermark path it sets fact-bound victims aside
+// (the bootstrap skip path) instead of failing when the disk is too tight
+// to re-log their facts, so it makes progress wherever maybeClean would.
 func (l *LLD) Clean(n int) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {
 		return 0, err
 	}
-	if l.cleaning {
+	if n <= 0 || l.cleaning {
 		return 0, nil
 	}
 	l.cleaning = true
 	defer func() { l.cleaning = false }()
-	cleaned := 0
-	for i := 0; i < n; i++ {
-		victim := l.pickVictim(nil)
-		if victim < 0 {
-			break
-		}
-		if err := l.cleanSegment(victim); err != nil {
-			return cleaned, err
-		}
-		cleaned++
-	}
-	return cleaned, nil
+	p := cleanPass{maxIter: n + l.lay.nSegments}
+	_, err := l.cleanSome(&p, n, nil)
+	return p.cleaned, err
 }
 
 // pickVictim selects the next segment to clean, or -1 if none qualifies.
@@ -299,7 +350,20 @@ func (l *LLD) cleanSegment(id int) error {
 			mExist[bid] = ts
 		}
 	}
-	for bid, m := range mExist {
+	// Re-log in sorted id order: map iteration order would otherwise make
+	// the emitted timestamps — and so the durable image — vary from run to
+	// run, which breaks the byte-identical equivalence the background
+	// cleaner (and the determinism of the simulations) relies on.
+	sortedBlocks := func(m map[ld.BlockID]uint64) []ld.BlockID {
+		ids := make([]ld.BlockID, 0, len(m))
+		for bid := range m {
+			ids = append(ids, bid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	for _, bid := range sortedBlocks(mExist) {
+		m := mExist[bid]
 		if int(bid) >= len(l.blocks) || m <= l.ckptTS {
 			continue // out of range, or covered by the checkpoint
 		}
@@ -311,7 +375,13 @@ func (l *LLD) cleanSegment(id int) error {
 			return err
 		}
 	}
-	for lid, m := range mList {
+	lids := make([]ld.ListID, 0, len(mList))
+	for lid := range mList {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	for _, lid := range lids {
+		m := mList[lid]
 		if m <= l.ckptTS {
 			continue
 		}
@@ -333,7 +403,8 @@ func (l *LLD) cleanSegment(id int) error {
 	// lives elsewhere needs its coordinates restated, or recovery would
 	// misplace it. Blocks whose data was in this segment were just moved
 	// (fresh entries) and fail the dataTS check.
-	for bid, m := range mData {
+	for _, bid := range sortedBlocks(mData) {
+		m := mData[bid]
 		if int(bid) >= len(l.blocks) || m <= l.ckptTS {
 			continue
 		}
@@ -448,12 +519,14 @@ func (l *LLD) Reorganize(n int) error {
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
-	if l.cleaning || l.aruOpen {
+	if l.cleaning || l.aruOpen || n <= 0 {
 		return nil
 	}
 	l.cleaning = true
 	defer func() { l.cleaning = false }()
 	rewritten := 0
+	quota := n * l.lay.dataCap() / l.lay.maxBlockSize
+outer:
 	for _, lid := range append([]ld.ListID(nil), l.order...) {
 		li, ok := l.lists[lid]
 		if !ok || !li.hints.Cluster {
@@ -480,10 +553,15 @@ func (l *LLD) Reorganize(n int) error {
 			l.addEntry(blockEntry{bid: b, ts: l.nextTS(), off: uint32(off), stored: bi.stored, orig: bi.orig, flags: flags})
 			l.applySetData(b, l.cur.id, off, int(bi.stored), int(bi.orig), bi.flags&bComp != 0)
 			rewritten++
-			if rewritten >= n*l.lay.dataCap()/l.lay.maxBlockSize {
-				return nil
+			if rewritten >= quota {
+				break outer
 			}
 		}
 	}
-	return nil
+	// The rewrites hollowed out the victims' old homes; clean up to n
+	// segments so the reorganizer actually returns free space, as
+	// documented.
+	p := cleanPass{maxIter: n + l.lay.nSegments}
+	_, err := l.cleanSome(&p, n, nil)
+	return err
 }

@@ -113,6 +113,11 @@ type Stats struct {
 	BlocksMoved     int64
 	SnapshotTuples  int64 // facts re-logged by the cleaner
 
+	BGCleanPasses int64 // background-cleaner passes completed
+	BGCleanSteps  int64 // exclusive-lock acquisitions by the background cleaner
+	BGCleanErrors int64 // background passes abandoned on error
+	WriterWaits   int64 // mutators that blocked on an exhausted free pool
+
 	HintHits   int64
 	HintMisses int64
 
@@ -169,7 +174,25 @@ type LLD struct {
 	liveBytes     int64
 	reservedBytes int64
 
-	cleaning    bool
+	// Cleaner-pass ownership. cleaning is true while any cleaning pass
+	// (inline or background) is active; because inline passes never
+	// release mu mid-pass, observing cleaning && !cleaningBG under the
+	// exclusive lock means the pass is on the observer's own stack.
+	// cleaningBG marks a background pass (which spans lock releases), and
+	// cleaningStep is true only while the background goroutine itself
+	// holds the lock inside one step.
+	cleaning     bool
+	cleaningBG   bool
+	cleaningStep bool
+
+	// Background cleaner (nil when BackgroundClean is off). spaceCond is
+	// signaled (on mu's exclusive side) whenever free segments appear or
+	// the cleaner/instance state changes; waiters counts mutators blocked
+	// in awaitFreeSegment.
+	bg        *bgCleaner
+	spaceCond *sync.Cond
+	waiters   int
+
 	lastSealDur time.Duration
 	compressCPU time.Duration
 
@@ -273,6 +296,7 @@ func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
 		segs:      make([]segInfo, lay.nSegments),
 		scratch:   make([]byte, lay.segmentSize+lay.sectorSize),
 	}
+	l.spaceCond = sync.NewCond(&l.mu)
 	for i := range l.blocks {
 		l.blocks[i].seg = -1
 	}
@@ -312,6 +336,9 @@ func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
 			uint32(l.fenceLo), uint32(l.fenceLo>>32),
 			uint32(l.fenceHi), uint32(l.fenceHi>>32))
 		l.fenceLo, l.fenceHi = 0, 0
+	}
+	if opts.BackgroundClean {
+		l.startBGClean()
 	}
 	return l, nil
 }

@@ -714,7 +714,14 @@ func (l *LLD) BlockSize(b ld.BlockID) (int, error) {
 // writes the state to the checkpoint region with a validity marker (paper
 // §3.6); an unclean one discards the in-memory state, simulating a crash of
 // the host (the disk itself is untouched).
+//
+// Either flavor quiesces the background cleaner first: the goroutine is
+// joined before the lock is taken, so no cleaning step can race the
+// checkpoint (or linger past a simulated crash). A clean Shutdown refused
+// with ErrARUOpen leaves the cleaner stopped — the instance still works,
+// cleaning synchronously, until a retried Shutdown succeeds.
 func (l *LLD) Shutdown(clean bool) error {
+	l.stopBGClean()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {

@@ -123,6 +123,25 @@ type Options struct {
 	// 0 picks min(GOMAXPROCS, 8). It is a runtime knob, not geometry: it
 	// is never written to disk.
 	RecoveryWorkers int
+
+	// BackgroundClean moves watermark-triggered cleaning off the foreground
+	// path: the instance owns a goroutine that claims the exclusive lock
+	// for at most CleanStepSegments victim segments at a time and yields
+	// between steps, so concurrent commands see bounded pauses instead of
+	// whole-clean stalls (the paper's §3.5 "during idle periods or when the
+	// number of free segments gets below a certain threshold" run in the
+	// background). Mutators that trip the low watermark merely signal the
+	// goroutine; they block only when the free pool is truly exhausted.
+	// The durable state produced is identical to synchronous cleaning: the
+	// goroutine runs the very same victim loop, just in lock-released
+	// slices. A runtime knob, never written to disk.
+	BackgroundClean bool
+
+	// CleanStepSegments bounds how many victim segments the background
+	// cleaner processes per exclusive-lock acquisition. Smaller steps mean
+	// shorter writer pauses and more lock handoffs. Zero means 1. Ignored
+	// unless BackgroundClean is set.
+	CleanStepSegments int
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -164,7 +183,19 @@ func (o Options) validate(sectorSize int) error {
 	if o.UtilizationLimit <= 0 || o.UtilizationLimit > 1 {
 		return fmt.Errorf("lld: utilization limit %v out of (0,1]", o.UtilizationLimit)
 	}
+	if o.CleanStepSegments < 0 {
+		return fmt.Errorf("lld: clean step %d negative", o.CleanStepSegments)
+	}
 	return nil
+}
+
+// cleanStep resolves the configured background-cleaner step to an
+// effective per-lock-acquisition victim count.
+func (o Options) cleanStep() int {
+	if o.CleanStepSegments <= 0 {
+		return 1
+	}
+	return o.CleanStepSegments
 }
 
 // recoveryWorkers resolves the configured worker count to an effective one.

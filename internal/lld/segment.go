@@ -41,6 +41,7 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 	if dataLen > l.lay.dataCap() || summaryHeaderSize+sumLen > l.lay.summarySize {
 		return fmt.Errorf("%w: request larger than a segment", ld.ErrTooLarge)
 	}
+	seals := 0
 	for {
 		if l.cur != nil {
 			fits := l.cur.dataOff+dataLen <= l.lay.dataCap() &&
@@ -48,9 +49,19 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 			if fits {
 				return nil
 			}
+			// A healthy write seals at most a couple of times. Sealing a
+			// full lap of segments without ever fitting means cleaning is
+			// treadmilling: each pass relocates as many bytes as it frees
+			// and hands back an already-full segment, so the disk has no
+			// net reclaimable space. Surface that as ErrNoSpace instead of
+			// looping forever.
+			if seals > l.lay.nSegments+1 {
+				return fmt.Errorf("%w: cleaning reclaims no net space", ld.ErrNoSpace)
+			}
 			if err := l.sealSegment(); err != nil {
 				return err
 			}
+			seals++
 		}
 		// The cleaner may itself open (and partially fill) a segment; the
 		// loop re-checks fit instead of assuming a fresh one.
@@ -58,8 +69,19 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 			return err
 		}
 		if l.cur == nil {
-			if err := l.openNewSegment(); err != nil {
-				return err
+			if len(l.freeSegs) <= l.cleanReserve() {
+				// Exhausted down to the cleaner's reserve. With a background
+				// cleaner this blocks until it frees a segment; otherwise
+				// (and on a cleaning pass's own stack) it returns at once
+				// and openNewSegment surfaces ErrNoSpace.
+				if err := l.awaitFreeSegment(); err != nil {
+					return err
+				}
+			}
+			if l.cur == nil {
+				if err := l.openNewSegment(); err != nil {
+					return err
+				}
 			}
 		}
 	}

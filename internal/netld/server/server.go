@@ -56,34 +56,61 @@ type OpStats struct {
 	Errors uint64 // requests answered with a non-OK status
 
 	// Buckets is a log2 latency histogram: Buckets[i] counts requests
-	// that took less than 1µs<<i; the last bucket absorbs the rest.
-	Buckets [16]uint64
+	// that took less than 1µs<<i; the last bucket is the overflow bucket
+	// and absorbs the rest. 28 buckets put the overflow threshold at
+	// 1µs<<27 ≈ 134s, beyond any plausible request latency, so even
+	// slow-link tails land in a bounded bucket instead of saturating.
+	Buckets [28]uint64
 }
 
 // Quantile returns an approximate latency quantile (0 < q <= 1) from the
 // log2 histogram: the upper bound of the bucket holding the q-th request,
 // so the true value is within 2x below the returned one. Zero if no
-// requests were recorded.
+// requests were recorded. When the quantile lands in the overflow bucket
+// the returned duration is that bucket's lower bound — a floor, not a
+// ceiling; use QuantileBound to detect this.
 func (o OpStats) Quantile(q float64) time.Duration {
+	d, _ := o.QuantileBound(q)
+	return d
+}
+
+// QuantileBound is Quantile plus an overflow indicator: when the q-th
+// request falls in the unbounded last bucket, the true latency is only
+// known to be at least the returned duration, and overflow is true.
+// Displays should render such values as "≥ d".
+func (o OpStats) QuantileBound(q float64) (d time.Duration, overflow bool) {
 	var total uint64
 	for _, c := range o.Buckets {
 		total += c
 	}
 	if total == 0 {
-		return 0
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	target := uint64(float64(total)*q + 0.5)
 	if target < 1 {
 		target = 1
 	}
+	if target > total {
+		target = total
+	}
 	var cum uint64
 	for i, c := range o.Buckets {
 		cum += c
 		if cum >= target {
-			return time.Microsecond << i
+			if i == len(o.Buckets)-1 {
+				// Overflow bucket: its lower bound is the previous
+				// bucket's upper bound.
+				return time.Microsecond << (i - 1), true
+			}
+			return time.Microsecond << i, false
 		}
 	}
-	return time.Microsecond << (len(o.Buckets) - 1)
+	return time.Microsecond << (len(o.Buckets) - 2), true
 }
 
 // Stats is a snapshot of server counters, in the spirit of expvar.

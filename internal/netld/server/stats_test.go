@@ -1,0 +1,108 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty: no recorded requests yield zero, not a bucket bound.
+func TestQuantileEmpty(t *testing.T) {
+	var o OpStats
+	if d, over := o.QuantileBound(0.99); d != 0 || over {
+		t.Fatalf("empty histogram: got (%v, %v), want (0, false)", d, over)
+	}
+}
+
+// TestQuantileEdges drives q to both extremes of a two-bucket histogram:
+// any q must land in an occupied bucket, q→0 in the first and q=1 in the
+// last, and out-of-range q values clamp instead of misindexing.
+func TestQuantileEdges(t *testing.T) {
+	var o OpStats
+	o.Buckets[2] = 10 // < 4µs
+	o.Buckets[7] = 10 // < 128µs
+
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 4 * time.Microsecond},        // clamped target: first request
+		{0.0001, 4 * time.Microsecond},   // q→0: still the first bucket
+		{0.5, 4 * time.Microsecond},      // median splits at the first bucket
+		{0.55, 128 * time.Microsecond},   // past the median
+		{1, 128 * time.Microsecond},      // maximum
+		{1.5, 128 * time.Microsecond},    // clamped above 1
+		{-0.5, 4 * time.Microsecond},     // clamped below 0
+		{0.9999, 128 * time.Microsecond}, // q→1
+	}
+	for _, c := range cases {
+		d, over := o.QuantileBound(c.q)
+		if d != c.want || over {
+			t.Errorf("QuantileBound(%v) = (%v, %v), want (%v, false)", c.q, d, over, c.want)
+		}
+		if got := o.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileOverflowOnly: a histogram holding only overflow samples must
+// report the overflow bucket's lower bound with the overflow flag set —
+// the value is a floor ("≥ bound"), never silently passed off as exact.
+func TestQuantileOverflowOnly(t *testing.T) {
+	var o OpStats
+	last := len(o.Buckets) - 1
+	o.Buckets[last] = 3
+	wantFloor := time.Microsecond << (last - 1)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		d, over := o.QuantileBound(q)
+		if d != wantFloor || !over {
+			t.Errorf("QuantileBound(%v) = (%v, %v), want (%v, true)", q, d, over, wantFloor)
+		}
+	}
+}
+
+// TestQuantileOverflowTail: with a populated body and an overflow tail,
+// mid quantiles stay exact and only tail quantiles carry the flag.
+func TestQuantileOverflowTail(t *testing.T) {
+	var o OpStats
+	o.Buckets[5] = 99 // < 32µs
+	o.Buckets[len(o.Buckets)-1] = 1
+	if d, over := o.QuantileBound(0.5); d != 32*time.Microsecond || over {
+		t.Errorf("p50 = (%v, %v), want (32µs, false)", d, over)
+	}
+	if d, over := o.QuantileBound(0.99); d != 32*time.Microsecond || over {
+		t.Errorf("p99 = (%v, %v), want (32µs, false)", d, over)
+	}
+	wantFloor := time.Microsecond << (len(o.Buckets) - 2)
+	if d, over := o.QuantileBound(1); d != wantFloor || !over {
+		t.Errorf("p100 = (%v, %v), want (%v, true)", d, over, wantFloor)
+	}
+}
+
+// TestRecordBucketing pins the record()/Quantile contract end to end: a
+// duration d lands in the bucket whose upper bound is the first power-of-two
+// microsecond value exceeding it, and latencies beyond the histogram range
+// land in the overflow bucket rather than saturating the last bounded one.
+func TestRecordBucketing(t *testing.T) {
+	s := &Server{}
+	for _, d := range []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond, 40 * time.Millisecond} {
+		s.record(0, nil, d)
+	}
+	o := s.ops[0]
+	if o.Count != 3 {
+		t.Fatalf("count = %d, want 3", o.Count)
+	}
+	if d, over := o.QuantileBound(1); over {
+		t.Errorf("40ms must not overflow a %d-bucket histogram, got (%v, true)", len(o.Buckets), d)
+	} else if d < 40*time.Millisecond || d >= 80*time.Millisecond {
+		t.Errorf("p100 = %v, want the bucket bound just above 40ms", d)
+	}
+
+	// An absurd latency (beyond the 2^26µs ≈ 67s top bounded bucket) must
+	// be reported as overflow.
+	s2 := &Server{}
+	s2.record(0, nil, 5*time.Minute)
+	if _, over := s2.ops[0].QuantileBound(1); !over {
+		t.Error("5-minute latency did not set the overflow flag")
+	}
+}
