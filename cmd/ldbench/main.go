@@ -33,6 +33,12 @@
 // the per-write stall quantiles side by side:
 //
 //	ldbench -cleanbench
+//
+// The scrubber-stall benchmark runs the same workload with and without the
+// background scrubber verifying checksums behind the writers, showing what
+// continuous integrity checking costs the foreground:
+//
+//	ldbench -scrubbench
 package main
 
 import (
@@ -80,6 +86,12 @@ func localMicroDisk() (ld.Disk, error) {
 // occupies most of it and rewrites keep cycling the free-segment pool
 // through the cleaning watermarks.
 func stallDisk(background bool) (ld.Disk, error) {
+	return stallDiskScrub(background, false)
+}
+
+// stallDiskScrub is stallDisk with an optional background scrubber, used
+// by the scrubber-overhead benchmark.
+func stallDiskScrub(background, scrub bool) (ld.Disk, error) {
 	d := disk.New(disk.DefaultConfig(4 << 20))
 	o := lld.DefaultOptions()
 	o.SegmentSize = 128 * 1024
@@ -88,6 +100,10 @@ func stallDisk(background bool) (ld.Disk, error) {
 	if background {
 		o.BackgroundClean = true
 		o.CleanStepSegments = 1
+	}
+	if scrub {
+		o.BackgroundScrub = true
+		o.ScrubStepSegments = 1
 	}
 	if err := lld.Format(d, o); err != nil {
 		return nil, err
@@ -124,6 +140,46 @@ func runCleanBench(clients, ops int) error {
 		fmt.Printf("p99 writer stall: %s inline vs %s background (%.2fx)\n",
 			s.P99.Round(time.Microsecond), b.P99.Round(time.Microsecond),
 			float64(s.P99)/float64(b.P99))
+	}
+	return nil
+}
+
+// runScrubBench runs the write-stall workload twice — without and with the
+// background scrubber re-verifying every sealed segment behind the writers —
+// and prints the quantiles side by side. Both runs use the background
+// cleaner so the only variable is the scrubber's lock traffic.
+func runScrubBench(clients, ops int) error {
+	fmt.Printf("# LD scrubber overhead — per-write latency with checksum scrubbing behind the writers, %d clients × %d rewrites\n", clients, ops)
+	cfg := ldmicro.StallConfig{Clients: clients, OpsPerClient: ops}
+	var results []ldmicro.StallResult
+	for _, mode := range []struct {
+		name  string
+		scrub bool
+	}{{"no scrubber", false}, {"background scrubber", true}} {
+		l, err := stallDiskScrub(true, mode.scrub)
+		if err != nil {
+			return err
+		}
+		r, err := ldmicro.RunWriteStall(mode.name, ldmicro.SingleHandle(l), cfg)
+		if err != nil {
+			l.Shutdown(true)
+			return err
+		}
+		if err := l.Shutdown(true); err != nil {
+			return err
+		}
+		if ll, ok := l.(*lld.LLD); ok && mode.scrub {
+			s := ll.Stats()
+			fmt.Printf("scrubber: %d passes, %d segments, %d blocks (%d KB) verified, %d errors\n",
+				s.BGScrubPasses, s.ScrubSegments, s.ScrubBlocks, s.ScrubBytes>>10, s.ScrubErrors)
+		}
+		fmt.Println(r)
+		results = append(results, r)
+	}
+	if base, scrub := results[0], results[1]; base.P99 > 0 {
+		fmt.Printf("p99 writer stall: %s without vs %s with scrubbing (%.2fx)\n",
+			base.P99.Round(time.Microsecond), scrub.P99.Round(time.Microsecond),
+			float64(scrub.P99)/float64(base.P99))
 	}
 	return nil
 }
@@ -172,11 +228,14 @@ func main() {
 	concOps := flag.Int("conc-ops", 2000, "operations per client for -conc")
 	cleanbench := flag.Bool("cleanbench", false, "run the sync-vs-background cleaner writer-stall comparison")
 	cleanOps := flag.Int("clean-ops", 500, "rewrites per client for -cleanbench")
+	scrubbench := flag.Bool("scrubbench", false, "run the with-vs-without background scrubber writer-stall comparison")
+	scrubOps := flag.Int("scrub-ops", 500, "rewrites per client for -scrubbench")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n")
-		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
@@ -185,6 +244,14 @@ func main() {
 
 	if *cleanbench {
 		if err := runCleanBench(4, *cleanOps); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scrubbench {
+		if err := runScrubBench(4, *scrubOps); err != nil {
 			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
 			os.Exit(1)
 		}

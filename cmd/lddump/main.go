@@ -4,9 +4,15 @@
 // walking the logical state (lists, blocks, sizes) through the netld
 // protocol.
 //
+// With -verify it runs the offline integrity walk instead: every block
+// payload named by a valid segment summary is checked against its recorded
+// checksum, rotted summaries are distinguished from benign torn tails, and
+// the process exits nonzero if any fault is found.
+//
 // Usage:
 //
 //	lddump [-v] disk.img
+//	lddump -verify disk.img
 //	lddump [-v] -remote localhost:7093
 package main
 
@@ -24,6 +30,7 @@ import (
 func main() {
 	verbose := flag.Bool("v", false, "list every block entry and tuple (image) or every block (remote)")
 	remote := flag.String("remote", "", "inspect a live netld server at this address instead of an image")
+	verify := flag.Bool("verify", false, "verify every block payload checksum instead of dumping; exit 1 on any fault")
 	flag.Parse()
 
 	if *remote != "" {
@@ -39,7 +46,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lddump [-v] <image> | lddump [-v] -remote <addr>")
+		fmt.Fprintln(os.Stderr, "usage: lddump [-v|-verify] <image> | lddump [-v] -remote <addr>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -52,6 +59,17 @@ func main() {
 	if err := d.LoadImage(path); err != nil {
 		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
 		os.Exit(1)
+	}
+	if *verify {
+		faults, err := lld.Verify(d, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
+			os.Exit(1)
+		}
+		if faults > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	if err := lld.Dump(d, os.Stdout, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)

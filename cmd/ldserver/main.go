@@ -68,6 +68,10 @@ func main() {
 		"run segment cleaning in a background goroutine with bounded per-step lock holds")
 	cleanStep := flag.Int("clean-step", 1,
 		"victim segments the background cleaner processes per lock acquisition (with -bg-clean)")
+	bgScrub := flag.Bool("bg-scrub", false,
+		"verify block payload checksums against the media in a background goroutine")
+	scrubStep := flag.Int("scrub-step", 1,
+		"segments the background scrubber verifies per lock acquisition (with -bg-scrub)")
 	quiet := flag.Bool("q", false, "suppress per-event logging")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldserver [flags]\n\nFlags:\n")
@@ -87,6 +91,13 @@ exclusive lock for at most -clean-step victim segments at a time, so the
 worst-case pause a request sees is one bounded step rather than a whole
 multi-segment pass. Writes block only when the free-segment pool is truly
 exhausted.
+
+With -bg-scrub, an online scrubber re-reads sealed segments (woken by each
+segment seal) and verifies every live block's payload checksum against the
+media, holding the exclusive lock for at most -scrub-step segments at a
+time. Latent corruption is then found proactively instead of at the next
+unlucky READ; either way damaged data is refused with a CORRUPT status,
+never served.
 
 On graceful shutdown (SIGINT/SIGTERM) the server drains in-flight
 requests, checkpoints the LLD, and prints a per-opcode latency table
@@ -109,6 +120,8 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	opts.RecoveryWorkers = *recoveryWorkers
 	opts.BackgroundClean = *bgClean
 	opts.CleanStepSegments = *cleanStep
+	opts.BackgroundScrub = *bgScrub
+	opts.ScrubStepSegments = *scrubStep
 
 	var d *disk.Disk
 	needFormat := true
@@ -132,6 +145,14 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	l, err := lld.Open(d, opts)
 	if err != nil {
 		fail("open LLD: %v", err)
+	}
+	if rep := l.RecoveryReport(); rep.Degraded() {
+		fmt.Fprintf(os.Stderr,
+			"ldserver: WARNING: recovery found damage: %d segments quarantined, %d blocks degraded\n",
+			len(rep.QuarantinedSegments), len(rep.DegradedBlocks))
+		for _, q := range rep.QuarantinedSegments {
+			fmt.Fprintf(os.Stderr, "ldserver:   segment %d: %s\n", q.Seg, q.Reason)
+		}
 	}
 
 	logf := func(format string, args ...any) {
@@ -183,6 +204,11 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 			"ldserver: cleaner: %d runs, %d segments cleaned, %d moved blocks; background: %d passes, %d steps, %d errors, %d writer waits\n",
 			s.CleanerRuns, s.SegmentsCleaned, s.BlocksMoved,
 			s.BGCleanPasses, s.BGCleanSteps, s.BGCleanErrors, s.WriterWaits)
+		fmt.Fprintf(os.Stderr,
+			"ldserver: integrity: %d corrupt reads refused, %d transient retries, %d quarantined segments; scrub: %d passes, %d blocks (%d MB) verified, %d errors, %d repairs\n",
+			s.CorruptReads, s.ReadRetries, s.QuarantinedSegments,
+			s.ScrubPasses+s.BGScrubPasses, s.ScrubBlocks, s.ScrubBytes>>20,
+			s.ScrubErrors, s.ScrubRepairs)
 	}
 	printStats(srv.Stats(), *quiet)
 }

@@ -34,6 +34,14 @@ var (
 	ErrOutOfRange = errors.New("disk: access out of range")
 	// ErrUnaligned is returned when an access is not sector aligned.
 	ErrUnaligned = errors.New("disk: access not sector aligned")
+	// ErrUnreadable is returned when a read covers a sector marked as a
+	// latent media fault (InjectUnreadable). The error persists until the
+	// sector is rewritten, which models the drive remapping it.
+	ErrUnreadable = errors.New("disk: unreadable sector")
+	// ErrTransient is returned for injected transient faults
+	// (InjectTransientReadErrors): the request fails but an identical
+	// retry succeeds once the injected budget is exhausted.
+	ErrTransient = errors.New("disk: transient I/O error")
 )
 
 // Config describes the geometry and mechanics of a simulated disk.
@@ -120,6 +128,9 @@ type Stats struct {
 	SectorsWritten int64
 	Seeks          int64 // seeks that actually moved the arm
 
+	TransientFaults  int64 // reads failed with ErrTransient
+	UnreadableFaults int64 // reads failed with ErrUnreadable
+
 	SeekTime     time.Duration
 	RotationTime time.Duration
 	TransferTime time.Duration
@@ -153,6 +164,16 @@ type Disk struct {
 
 	crashAfter int64 // sectors until injected crash; -1 means disabled
 	crashed    bool
+
+	// badSectors holds the latent media faults injected with
+	// InjectUnreadable. Reads covering any of them fail with
+	// ErrUnreadable; a write over a bad sector clears the fault, the way
+	// a real drive remaps the sector on rewrite.
+	badSectors map[int64]bool
+
+	// transientReads is how many more read requests fail with
+	// ErrTransient before reads succeed again.
+	transientReads int
 
 	// readBufEnd marks the sector just past the last read, modeling the
 	// drive's read (track) buffer: a read that starts exactly where the
@@ -263,6 +284,54 @@ func (d *Disk) ClearCrash() {
 	d.crashed = false
 	d.crashAfter = -1
 	d.mu.Unlock()
+}
+
+// InjectUnreadable marks count sectors starting at sector as latent media
+// faults: any read covering one fails with ErrUnreadable until the sector
+// is rewritten. The platter contents underneath are untouched, so a
+// snapshot/restore round trip does not carry the fault.
+func (d *Disk) InjectUnreadable(sector, count int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.badSectors == nil {
+		d.badSectors = make(map[int64]bool)
+	}
+	for i := int64(0); i < count; i++ {
+		d.badSectors[sector+i] = true
+	}
+}
+
+// ClearUnreadable removes every injected latent read fault.
+func (d *Disk) ClearUnreadable() {
+	d.mu.Lock()
+	d.badSectors = nil
+	d.mu.Unlock()
+}
+
+// InjectTransientReadErrors arranges for the next n read requests to fail
+// with ErrTransient without touching the platter; the request after those
+// succeeds. It models bus glitches and recoverable drive hiccups that a
+// bounded retry should absorb.
+func (d *Disk) InjectTransientReadErrors(n int) {
+	d.mu.Lock()
+	d.transientReads = n
+	d.mu.Unlock()
+}
+
+// CorruptRange XORs every byte in [off, off+n) on the platter with xor,
+// modeling silent bit rot: subsequent reads succeed and return the flipped
+// bytes. The range is byte-granular and need not be sector aligned; xor
+// must be nonzero to change anything. It panics if the range is out of
+// bounds, since corrupting a nonexistent sector is a test bug.
+func (d *Disk) CorruptRange(off, n int64, xor byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 || n < 0 || off+n > int64(len(d.data)) {
+		panic(fmt.Sprintf("disk: CorruptRange [%d,%d) out of range (capacity %d)", off, off+n, len(d.data)))
+	}
+	for i := off; i < off+n; i++ {
+		d.data[i] ^= xor
+	}
 }
 
 // checkAccess validates alignment and range for an access of length n at off.
@@ -439,10 +508,23 @@ func (d *Disk) ReadAt(p []byte, off int64) error {
 	if len(p) == 0 {
 		return nil
 	}
+	if d.transientReads > 0 {
+		d.transientReads--
+		d.stats.TransientFaults++
+		return fmt.Errorf("%w: off=%d len=%d", ErrTransient, off, len(p))
+	}
 	ss := int64(d.cfg.SectorSize)
 	sector := off / ss
 	count := int64(len(p)) / ss
 	d.service(sector, count, true)
+	if d.badSectors != nil {
+		for i := int64(0); i < count; i++ {
+			if d.badSectors[sector+i] {
+				d.stats.UnreadableFaults++
+				return fmt.Errorf("%w: sector %d (off=%d len=%d)", ErrUnreadable, sector+i, off, len(p))
+			}
+		}
+	}
 	copy(p, d.data[off:off+int64(len(p))])
 	d.stats.Reads++
 	d.stats.SectorsRead += count
@@ -485,6 +567,12 @@ func (d *Disk) WriteAt(p []byte, off int64) error {
 		copy(d.data[off:off+n], p[:n])
 		d.stats.Writes++
 		d.stats.SectorsWritten += written
+		// Rewriting a latent-fault sector repairs it (drive remap).
+		if d.badSectors != nil {
+			for i := int64(0); i < written; i++ {
+				delete(d.badSectors, sector+i)
+			}
+		}
 	}
 	if torn {
 		d.crashed = true
@@ -508,6 +596,12 @@ func (d *Disk) WriteAtNVRAM(p []byte, off int64) error {
 		return err
 	}
 	copy(d.data[off:off+int64(len(p))], p)
+	if d.badSectors != nil && len(p) > 0 {
+		ss := int64(d.cfg.SectorSize)
+		for s := off / ss; s < (off+int64(len(p)))/ss; s++ {
+			delete(d.badSectors, s)
+		}
+	}
 	return nil
 }
 

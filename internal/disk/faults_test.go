@@ -1,0 +1,127 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func faultDisk(t *testing.T) *Disk {
+	t.Helper()
+	return New(DefaultConfig(1 << 20))
+}
+
+func TestInjectUnreadable(t *testing.T) {
+	d := faultDisk(t)
+	ss := d.SectorSize()
+	buf := make([]byte, 4*ss)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	d.InjectUnreadable(2, 1)
+	got := make([]byte, 4*ss)
+	err := d.ReadAt(got, 0)
+	if !errors.Is(err, ErrUnreadable) {
+		t.Fatalf("ReadAt over bad sector: got %v, want ErrUnreadable", err)
+	}
+	// A read that avoids the bad sector still works.
+	if err := d.ReadAt(got[:2*ss], 0); err != nil {
+		t.Fatalf("ReadAt before bad sector: %v", err)
+	}
+	if !bytes.Equal(got[:2*ss], buf[:2*ss]) {
+		t.Fatal("read returned wrong bytes")
+	}
+	if d.Stats().UnreadableFaults != 1 {
+		t.Fatalf("UnreadableFaults = %d, want 1", d.Stats().UnreadableFaults)
+	}
+
+	// Rewriting the sector repairs it.
+	if err := d.WriteAt(buf[2*ss:3*ss], int64(2*ss)); err != nil {
+		t.Fatalf("repair WriteAt: %v", err)
+	}
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after repair: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("read after repair returned wrong bytes")
+	}
+
+	d.InjectUnreadable(0, 4)
+	d.ClearUnreadable()
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt after ClearUnreadable: %v", err)
+	}
+}
+
+func TestInjectTransientReadErrors(t *testing.T) {
+	d := faultDisk(t)
+	ss := d.SectorSize()
+	buf := make([]byte, ss)
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	d.InjectTransientReadErrors(2)
+	got := make([]byte, ss)
+	for i := 0; i < 2; i++ {
+		if err := d.ReadAt(got, 0); !errors.Is(err, ErrTransient) {
+			t.Fatalf("read %d: got %v, want ErrTransient", i, err)
+		}
+	}
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("read after transient budget: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("retried read returned wrong bytes")
+	}
+	if d.Stats().TransientFaults != 2 {
+		t.Fatalf("TransientFaults = %d, want 2", d.Stats().TransientFaults)
+	}
+}
+
+func TestCorruptRange(t *testing.T) {
+	d := faultDisk(t)
+	ss := d.SectorSize()
+	buf := make([]byte, 2*ss)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	// Flip one byte mid-sector; the read must succeed and return the
+	// flipped value — silent corruption, by design.
+	d.CorruptRange(int64(ss+7), 1, 0x40)
+	got := make([]byte, 2*ss)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	want := append([]byte(nil), buf...)
+	want[ss+7] ^= 0x40
+	if !bytes.Equal(got, want) {
+		t.Fatal("corruption did not land where expected")
+	}
+	// XOR again restores the original.
+	d.CorruptRange(int64(ss+7), 1, 0x40)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("double XOR did not restore contents")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range CorruptRange did not panic")
+		}
+	}()
+	d.CorruptRange(d.Capacity()-1, 2, 0xff)
+}

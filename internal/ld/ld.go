@@ -88,6 +88,10 @@ var (
 	// ErrListNotEmpty is returned by implementations that refuse to delete
 	// a non-empty list when asked to preserve its blocks.
 	ErrListNotEmpty = errors.New("ld: list not empty")
+	// ErrCorrupt indicates the stored bytes for a block failed integrity
+	// verification (checksum mismatch, unreadable media, or a quarantined
+	// segment): the data is detectably damaged and is never returned.
+	ErrCorrupt = errors.New("ld: corrupt data")
 )
 
 // Disk is the Logical Disk interface (Table 1 of the paper plus the

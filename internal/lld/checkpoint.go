@@ -65,6 +65,7 @@ func (l *LLD) writeCheckpoint(complete bool) error {
 		u32(bi.off)
 		u32(bi.stored)
 		u32(bi.orig)
+		u32(bi.crc)
 		u32(uint32(bi.next))
 		u32(uint32(bi.lid))
 		u8(bi.flags)
@@ -110,7 +111,7 @@ func (l *LLD) writeCheckpoint(complete bool) error {
 	}
 	copy(buf[checkpointHeaderSize:], payload)
 	slot := 1 - l.ckptSlot
-	if err := l.dsk.WriteAt(buf, l.lay.checkpointOff+int64(slot)*l.lay.checkpointSize); err != nil {
+	if err := l.dskWrite(buf, l.lay.checkpointOff+int64(slot)*l.lay.checkpointSize); err != nil {
 		return err
 	}
 	l.ckptSlot = slot
@@ -133,7 +134,7 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 	var candidates []slotInfo
 	for slot := 0; slot < 2; slot++ {
 		off := l.lay.checkpointOff + int64(slot)*l.lay.checkpointSize
-		if err := l.dsk.ReadAt(head, off); err != nil {
+		if err := l.dskRead(head, off); err != nil {
 			return false, false, err
 		}
 		if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic || head[20] != 1 {
@@ -158,7 +159,7 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 		off := l.lay.checkpointOff + int64(c.slot)*l.lay.checkpointSize
 		total := (checkpointHeaderSize + c.plen + ss - 1) / ss * ss
 		buf := make([]byte, total)
-		if err := l.dsk.ReadAt(buf, off); err != nil {
+		if err := l.dskRead(buf, off); err != nil {
 			return false, false, err
 		}
 		payload := buf[checkpointHeaderSize : checkpointHeaderSize+c.plen]
@@ -176,7 +177,7 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 			// checkpoint itself stays valid as the recovery floor.
 			copy(head, buf[:ss])
 			head[21] = 0
-			if err := l.dsk.WriteAt(head, off); err != nil {
+			if err := l.dskWrite(head, off); err != nil {
 				return false, false, err
 			}
 		}
@@ -206,6 +207,7 @@ func (l *LLD) decodeCheckpoint(payload []byte) error {
 		bi.off = r.u32()
 		bi.stored = r.u32()
 		bi.orig = r.u32()
+		bi.crc = r.u32()
 		bi.next = ld.BlockID(r.u32())
 		bi.lid = ld.ListID(r.u32())
 		bi.flags = r.u8()

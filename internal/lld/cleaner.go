@@ -201,7 +201,7 @@ func (l *LLD) cleanSegment(id int) error {
 		l.cleanBuf = make([]byte, l.lay.segmentSize)
 	}
 	buf := l.cleanBuf
-	if err := l.dsk.ReadAt(buf, l.lay.segOff(id)); err != nil {
+	if err := l.dskRead(buf, l.lay.segOff(id)); err != nil {
 		return err
 	}
 	si, err := decodeNewestSummary(buf[l.lay.dataCap():], l.lay, id)
@@ -289,7 +289,7 @@ func (l *LLD) cleanSegment(id int) error {
 	mLink := make(map[ld.BlockID]uint64)
 	mData := make(map[ld.BlockID]uint64)
 	mList := make(map[ld.ListID]uint64)
-	var fences [][6]uint32
+	var fences [][7]uint32
 	noteMax := func(m map[ld.BlockID]uint64, b uint32, ts uint64) {
 		if b != 0 && ts > m[ld.BlockID(b)] {
 			m[ld.BlockID(b)] = ts
@@ -471,6 +471,12 @@ func (l *LLD) consolidate() error {
 func (l *LLD) moveBlock(bid ld.BlockID, victimBuf []byte) error {
 	bi := &l.blocks[bid]
 	data := victimBuf[bi.off : bi.off+bi.stored]
+	// Never relocate rotted bytes: a mismatch here would otherwise be
+	// laundered into a fresh segment under a recomputed checksum.
+	if !l.opts.DisableReadVerify && payloadCRC(data) != bi.crc {
+		l.stats.CorruptReads++
+		return &CorruptError{Block: bid, Seg: int(bi.seg), Reason: "payload checksum mismatch during cleaning"}
+	}
 	compressedNow := bi.flags&bComp != 0
 	if l.opts.CompressOnClean && !compressedNow && int(bi.stored) >= 64 {
 		if li := l.lists[bi.lid]; li != nil && li.hints.Compress {
@@ -495,15 +501,20 @@ func (l *LLD) moveBlock(bid ld.BlockID, victimBuf []byte) error {
 	if !l.aruOpen {
 		flags |= entryCommitted
 	}
+	crc := bi.crc
+	if compressedNow != (bi.flags&bComp != 0) {
+		crc = payloadCRC(data) // stored form changed (compressed on clean)
+	}
 	l.addEntry(blockEntry{
 		bid:    bid,
 		ts:     l.nextTS(),
 		off:    uint32(off),
 		stored: uint32(len(data)),
 		orig:   bi.orig,
+		crc:    crc,
 		flags:  flags,
 	})
-	l.applySetData(bid, l.cur.id, off, len(data), int(bi.orig), compressedNow)
+	l.applySetData(bid, l.cur.id, off, len(data), int(bi.orig), compressedNow, crc)
 	l.stats.BlocksMoved++
 	return nil
 }
@@ -541,6 +552,11 @@ outer:
 			if err != nil {
 				return err
 			}
+			fromMemory := l.cur != nil && int32(l.cur.id) == bi.seg
+			if !fromMemory && !l.opts.DisableReadVerify && payloadCRC(stored) != bi.crc {
+				l.stats.CorruptReads++
+				return &CorruptError{Block: b, Seg: int(bi.seg), Reason: "payload checksum mismatch during reorganize"}
+			}
 			data := append([]byte(nil), stored...)
 			if err := l.ensureRoom(len(data), blockEntryEncSize); err != nil {
 				return err
@@ -550,8 +566,8 @@ outer:
 			if bi.flags&bComp != 0 {
 				flags |= entryCompressed
 			}
-			l.addEntry(blockEntry{bid: b, ts: l.nextTS(), off: uint32(off), stored: bi.stored, orig: bi.orig, flags: flags})
-			l.applySetData(b, l.cur.id, off, int(bi.stored), int(bi.orig), bi.flags&bComp != 0)
+			l.addEntry(blockEntry{bid: b, ts: l.nextTS(), off: uint32(off), stored: bi.stored, orig: bi.orig, crc: bi.crc, flags: flags})
+			l.applySetData(b, l.cur.id, off, int(bi.stored), int(bi.orig), bi.flags&bComp != 0, bi.crc)
 			rewritten++
 			if rewritten >= quota {
 				break outer

@@ -14,15 +14,15 @@ const (
 	superMagic      = 0x4C4C4431 // "LLD1"
 	summaryMagic    = 0x4C445347 // "LDSG"
 	checkpointMagic = 0x4C444350 // "LDCP"
-	formatVersion   = 1
+	formatVersion   = 2 // v2: block entries and checkpoint records carry a payload CRC32C
 
 	superEncSize      = 60
 	summaryHeaderSize = 36
-	blockEntryEncSize = 25
+	blockEntryEncSize = 29
 	tupleFixedSize    = 10 // kind + flags + ts; args follow
 
 	checkpointHeaderSize = 24
-	blockStateEncSize    = 29
+	blockStateEncSize    = 33
 	listStateEncSize     = 17
 	segStateEncSize      = 17
 )
@@ -46,7 +46,7 @@ const (
 	tBlockState            // bid, next, lid: linkage/existence snapshot
 	tBlockFree             // bid: freed-block tombstone
 	tListState             // lid, first, predLid, hints: list snapshot
-	tDataAt                // bid, seg+1 (0=none), off, stored, orig, flags(1=has,2=compressed)
+	tDataAt                // bid, seg+1 (0=none), off, stored, orig, flags(1=has,2=compressed), crc32c(stored bytes)
 	tFence                 // lo32(L), hi32(L), lo32(B), hi32(B): abort fence, see recovery.go
 	tupleKindMax
 )
@@ -62,7 +62,7 @@ var tupleArgc = [tupleKindMax]int{
 	tBlockState: 3,
 	tBlockFree:  1,
 	tListState:  4,
-	tDataAt:     6,
+	tDataAt:     7,
 	tFence:      4,
 }
 
@@ -80,12 +80,21 @@ var ErrFormat = errors.New("lld: bad on-disk format")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// payloadCRC is the checksum recorded for a block's stored (post-
+// compression) bytes. Zero-length payloads checksum to 0.
+func payloadCRC(b []byte) uint32 {
+	if len(b) == 0 {
+		return 0
+	}
+	return crc32.Checksum(b, crcTable)
+}
+
 // tupleRec is the in-memory form of a logged tuple.
 type tupleRec struct {
 	kind  uint8
 	flags uint8
 	ts    uint64
-	args  [6]uint32
+	args  [7]uint32
 }
 
 func (t tupleRec) committed() bool { return t.flags&tupleCommitted != 0 }
@@ -99,6 +108,7 @@ type blockEntry struct {
 	off    uint32
 	stored uint32 // bytes stored in the segment (post-compression)
 	orig   uint32 // logical size (pre-compression)
+	crc    uint32 // CRC32C of the stored bytes; 0 when stored == 0
 	flags  uint8
 }
 
@@ -254,6 +264,7 @@ func encodeSummary(seg []byte, l layout, segID int, writeTS uint64, sealed bool,
 		w.u32(e.off)
 		w.u32(e.stored)
 		w.u32(e.orig)
+		w.u32(e.crc)
 		w.u8(e.flags)
 	}
 	for _, t := range tuples {
@@ -343,6 +354,7 @@ func decodeSummary(sum []byte, l layout, wantSegID int) (*summaryInfo, error) {
 		e.off = r.u32()
 		e.stored = r.u32()
 		e.orig = r.u32()
+		e.crc = r.u32()
 		e.flags = r.u8()
 		si.entries = append(si.entries, e)
 	}

@@ -65,6 +65,7 @@ func (l *LLD) applyFreeStorage(bi *blockInfo) {
 	bi.off = 0
 	bi.stored = 0
 	bi.orig = 0
+	bi.crc = 0
 	bi.flags &^= bHasData | bComp
 }
 
@@ -81,7 +82,7 @@ func (l *LLD) applyFree(bid ld.BlockID, lid ld.ListID, pred ld.BlockID) {
 
 // applySetData installs a new physical location for bid's data, adjusting
 // the usage accounting for both the old and new segments.
-func (l *LLD) applySetData(bid ld.BlockID, seg int, off, stored, orig int, compressed bool) {
+func (l *LLD) applySetData(bid ld.BlockID, seg int, off, stored, orig int, compressed bool, crc uint32) {
 	bi := &l.blocks[bid]
 	if bi.hasData() && bi.seg >= 0 {
 		l.segs[bi.seg].live -= int64(bi.stored)
@@ -91,6 +92,7 @@ func (l *LLD) applySetData(bid ld.BlockID, seg int, off, stored, orig int, compr
 	bi.off = uint32(off)
 	bi.stored = uint32(stored)
 	bi.orig = uint32(orig)
+	bi.crc = crc
 	bi.flags |= bHasData
 	if compressed {
 		bi.flags |= bComp
@@ -200,6 +202,7 @@ func (l *LLD) applySwap(a, b ld.BlockID) {
 	ai.off, bi.off = bi.off, ai.off
 	ai.stored, bi.stored = bi.stored, ai.stored
 	ai.orig, bi.orig = bi.orig, ai.orig
+	ai.crc, bi.crc = bi.crc, ai.crc
 	ac := ai.flags & (bHasData | bComp)
 	bc := bi.flags & (bHasData | bComp)
 	ai.flags = ai.flags&^(bHasData|bComp) | bc

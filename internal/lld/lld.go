@@ -1,8 +1,10 @@
 package lld
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -27,6 +29,7 @@ type blockInfo struct {
 	off    uint32
 	stored uint32 // bytes stored on disk (post-compression)
 	orig   uint32 // logical size
+	crc    uint32 // CRC32C of the stored bytes; 0 when stored == 0
 	next   ld.BlockID
 	lid    ld.ListID
 	flags  uint8
@@ -68,6 +71,12 @@ const (
 	segLive
 	segOpen
 	segCooling // freed, but not reusable until the next durable write
+	// segQuarantined marks a segment recovery found corrupt or unreadable
+	// mid-log: its blocks are degraded (reads fail with ErrCorrupt), it is
+	// never picked as a cleaning victim, and it is not reused while the
+	// instance runs. The scrubber can salvage blocks whose payload CRC
+	// still verifies by rewriting them into the open segment.
+	segQuarantined
 )
 
 // segInfo is one entry of the segment usage table: the number of live bytes
@@ -128,6 +137,18 @@ type Stats struct {
 	RecoverySweepSegments int64 // summaries read by the last sweep
 	RecoveryAnomalies     int64 // defensive-replay oddities
 	RecoveryDiscards      int64 // incomplete-ARU records discarded by the sweep
+
+	ReadRetries    int64 // transient disk errors absorbed by bounded retry
+	CorruptReads   int64 // reads refused with ErrCorrupt (bad CRC, quarantine, media)
+	ScrubPasses    int64 // full scrub passes completed
+	ScrubSegments  int64 // segments walked by the scrubber
+	ScrubBlocks    int64 // live blocks whose payload CRC was verified
+	ScrubBytes     int64 // stored bytes the scrubber read and verified
+	ScrubErrors    int64 // corrupt or unreadable blocks the scrubber found
+	ScrubRepairs   int64 // degraded blocks salvaged by rewrite
+	BGScrubPasses  int64 // background-scrubber passes completed
+	BGScrubSteps   int64 // exclusive-lock acquisitions by the background scrubber
+	QuarantinedSegments int64 // segments currently quarantined (gauge)
 }
 
 // LLD is a log-structured Logical Disk. It implements ld.Disk.
@@ -192,6 +213,15 @@ type LLD struct {
 	bg        *bgCleaner
 	spaceCond *sync.Cond
 	waiters   int
+
+	// Background scrubber (nil when BackgroundScrub is off). scrubbing
+	// guards against overlapping passes (foreground Scrub vs background).
+	bgScrub   *bgScrubber
+	scrubbing bool
+
+	// recReport describes what the last recovery sweep found; zero value
+	// on a clean open. Read via RecoveryReport().
+	recReport RecoveryReport
 
 	lastSealDur time.Duration
 	compressCPU time.Duration
@@ -318,6 +348,7 @@ func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
 		}
 	}
 	l.rebuildFreeSegments()
+	l.finalizeIntegrity()
 	if l.fenceHi != 0 {
 		// The sweep discarded an incomplete atomic recovery unit whose
 		// records remain readable in sealed summaries. Make the dead window
@@ -339,6 +370,9 @@ func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
 	}
 	if opts.BackgroundClean {
 		l.startBGClean()
+	}
+	if opts.BackgroundScrub {
+		l.startBGScrub()
 	}
 	return l, nil
 }
@@ -371,6 +405,31 @@ func (l *LLD) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.stats
+}
+
+// maxIORetries bounds how many times a disk request that failed with a
+// transient error is retried before the error is surfaced.
+const maxIORetries = 3
+
+// dskRead is ReadAt with a bounded retry for transient disk errors. Safe
+// under the shared lock: the retry counter is updated atomically.
+func (l *LLD) dskRead(p []byte, off int64) error {
+	err := l.dsk.ReadAt(p, off)
+	for n := 0; n < maxIORetries && errors.Is(err, disk.ErrTransient); n++ {
+		atomic.AddInt64(&l.stats.ReadRetries, 1)
+		err = l.dsk.ReadAt(p, off)
+	}
+	return err
+}
+
+// dskWrite is WriteAt with the same bounded transient retry.
+func (l *LLD) dskWrite(p []byte, off int64) error {
+	err := l.dsk.WriteAt(p, off)
+	for n := 0; n < maxIORetries && errors.Is(err, disk.ErrTransient); n++ {
+		atomic.AddInt64(&l.stats.ReadRetries, 1)
+		err = l.dsk.WriteAt(p, off)
+	}
+	return err
 }
 
 // getReadBuf returns a scratch buffer for a shared-lock read.

@@ -142,6 +142,24 @@ type Options struct {
 	// shorter writer pauses and more lock handoffs. Zero means 1. Ignored
 	// unless BackgroundClean is set.
 	CleanStepSegments int
+
+	// BackgroundScrub attaches an online scrubber: a goroutine that, woken
+	// by segment seals, re-reads sealed segments and verifies every live
+	// block's payload checksum against the media in bounded steps (the
+	// background cleaner's lock discipline). Background passes only verify;
+	// salvage of quarantined blocks stays with the explicit Scrub call. A
+	// runtime knob, never written to disk.
+	BackgroundScrub bool
+
+	// ScrubStepSegments bounds how many segments a background scrub pass
+	// verifies per exclusive-lock acquisition. Zero means 1. Ignored unless
+	// BackgroundScrub is set.
+	ScrubStepSegments int
+
+	// DisableReadVerify skips payload-checksum verification on the read
+	// paths (Read, cleaner, reorganizer). Checksums are still computed and
+	// logged. For measuring the verification overhead; leave off otherwise.
+	DisableReadVerify bool
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -186,6 +204,9 @@ func (o Options) validate(sectorSize int) error {
 	if o.CleanStepSegments < 0 {
 		return fmt.Errorf("lld: clean step %d negative", o.CleanStepSegments)
 	}
+	if o.ScrubStepSegments < 0 {
+		return fmt.Errorf("lld: scrub step %d negative", o.ScrubStepSegments)
+	}
 	return nil
 }
 
@@ -196,6 +217,15 @@ func (o Options) cleanStep() int {
 		return 1
 	}
 	return o.CleanStepSegments
+}
+
+// scrubStep resolves the configured background-scrubber step to an
+// effective per-lock-acquisition segment count.
+func (o Options) scrubStep() int {
+	if o.ScrubStepSegments <= 0 {
+		return 1
+	}
+	return o.ScrubStepSegments
 }
 
 // recoveryWorkers resolves the configured worker count to an effective one.

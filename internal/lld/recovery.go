@@ -1,10 +1,13 @@
 package lld
 
 import (
+	"encoding/binary"
+	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/disk"
 	"repro/internal/ld"
 )
 
@@ -56,6 +59,7 @@ type recBlock struct {
 	off     uint32
 	stored  uint32
 	orig    uint32
+	crc     uint32
 	existTS uint64
 	linkTS  uint64
 	dataTS  uint64
@@ -114,16 +118,85 @@ func (rs *recState) orderInsertAfter(lid, pred ld.ListID) {
 	rs.order[idx] = lid
 }
 
-// sweepSummaries reads and decodes every segment's summary slots, fanning
-// the work out over a pool of opts.RecoveryWorkers goroutines. The result
-// slice is indexed by segment id (nil for empty/foreign/torn summaries),
-// so downstream processing in id order is identical for any worker count;
-// the simulated disk serializes the reads itself, and decodeSummary copies
-// everything out of the worker's read buffer. Only the first read error is
-// reported.
-func (l *LLD) sweepSummaries() ([]*summaryInfo, error) {
+// segProbe is what the sweep learned about one segment's summary slots.
+// Beyond the newest valid summary (if any), it preserves the evidence the
+// torn-tail/mid-log classifier needs: the claimed write timestamps of
+// undecodable magic-bearing slots, and whether the media refused the read.
+type segProbe struct {
+	si *summaryInfo // newest valid summary, nil if none
+
+	// suspectTS is the largest write timestamp claimed by an undecodable
+	// slot that still bears the summary magic (0 when there is none). The
+	// header prefix survives a tear — tears and rot destroy the tail of a
+	// slot write, not its first sectors — so the claim is readable even
+	// when the CRC is not satisfiable.
+	suspectTS    uint64
+	suspectSlots []int // slot indices of undecodable magic-bearing slots
+
+	unreadable bool // a slot could not be read at all (latent media fault)
+}
+
+// probeSlot decodes one summary slot into p: a valid summary replaces si
+// if newer; an undecodable slot bearing the summary magic is recorded as a
+// suspect with its claimed write timestamp.
+func probeSlot(p *segProbe, slot int, buf []byte, lay layout, segID int) {
+	si, err := decodeSummary(buf, lay, segID)
+	if err == nil {
+		if p.si == nil || si.writeTS > p.si.writeTS {
+			p.si = si
+		}
+		return
+	}
+	if len(buf) >= summaryHeaderSize && binary.LittleEndian.Uint32(buf) == summaryMagic &&
+		int(binary.LittleEndian.Uint32(buf[8:])) == segID {
+		ts := binary.LittleEndian.Uint64(buf[12:])
+		if ts > p.suspectTS {
+			p.suspectTS = ts
+		}
+		p.suspectSlots = append(p.suspectSlots, slot)
+	}
+}
+
+// probeSegment reads and classifies both summary slots of segment i.
+// A latent read fault on one slot does not hide the other: the region
+// read falls back to per-slot reads, and only a genuinely unreadable
+// slot marks the probe unreadable. Errors other than ErrUnreadable
+// (after the transient retry) abort the sweep.
+func (l *LLD) probeSegment(i int, sum []byte) (segProbe, error) {
 	lay := l.lay
-	results := make([]*summaryInfo, lay.nSegments)
+	var p segProbe
+	if err := l.dskRead(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+		if !errors.Is(err, disk.ErrUnreadable) {
+			return p, err
+		}
+		for slot := 0; slot < 2; slot++ {
+			buf := sum[slot*lay.summarySize : (slot+1)*lay.summarySize]
+			if err := l.dskRead(buf, lay.sumOff(i, slot)); err != nil {
+				if !errors.Is(err, disk.ErrUnreadable) {
+					return p, err
+				}
+				p.unreadable = true
+				continue
+			}
+			probeSlot(&p, slot, buf, lay, i)
+		}
+		return p, nil
+	}
+	for slot := 0; slot < 2; slot++ {
+		probeSlot(&p, slot, sum[slot*lay.summarySize:(slot+1)*lay.summarySize], lay, i)
+	}
+	return p, nil
+}
+
+// sweepSummaries reads and probes every segment's summary slots, fanning
+// the work out over a pool of opts.RecoveryWorkers goroutines. The result
+// slice is indexed by segment id, so downstream processing in id order is
+// identical for any worker count; the simulated disk serializes the reads
+// itself, and decodeSummary copies everything out of the worker's read
+// buffer. Only the first (non-media) read error is reported.
+func (l *LLD) sweepSummaries() ([]segProbe, error) {
+	lay := l.lay
+	results := make([]segProbe, lay.nSegments)
 	workers := l.opts.recoveryWorkers()
 	if workers > lay.nSegments {
 		workers = lay.nSegments
@@ -131,12 +204,11 @@ func (l *LLD) sweepSummaries() ([]*summaryInfo, error) {
 	if workers <= 1 {
 		sum := make([]byte, 2*lay.summarySize)
 		for i := 0; i < lay.nSegments; i++ {
-			if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+			p, err := l.probeSegment(i, sum)
+			if err != nil {
 				return nil, err
 			}
-			if si, err := decodeNewestSummary(sum, lay, i); err == nil {
-				results[i] = si
-			}
+			results[i] = p
 		}
 		return results, nil
 	}
@@ -156,13 +228,12 @@ func (l *LLD) sweepSummaries() ([]*summaryInfo, error) {
 				if i >= lay.nSegments {
 					return
 				}
-				if err := l.dsk.ReadAt(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
+				p, err := l.probeSegment(i, sum)
+				if err != nil {
 					errOnce.Do(func() { sweepErr = err })
 					return
 				}
-				if si, err := decodeNewestSummary(sum, lay, i); err == nil {
-					results[i] = si
-				}
+				results[i] = p
 			}
 		}()
 	}
@@ -195,8 +266,75 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 		return err
 	}
 	l.stats.RecoverySweepSegments += int64(lay.nSegments)
+	report := RecoveryReport{SweptSegments: lay.nSegments}
+
+	// lastValid is the newest write timestamp any intact summary (or the
+	// checkpoint) acknowledges. It is the pivot of the torn-vs-rot
+	// classification: a suspect slot claiming a timestamp the rest of the
+	// log has already moved past cannot be an in-flight write that tore at
+	// the crash — something else wrote durably after it, so the slot was
+	// once whole and has since rotted.
+	lastValid := floor
+	for i := range decoded {
+		if si := decoded[i].si; si != nil && si.writeTS > lastValid {
+			lastValid = si.writeTS
+		}
+	}
+
+	type zeroSlot struct{ seg, slot int }
+	var toZero []zeroSlot
 	var summaries []segRecord
-	for i, si := range decoded {
+	for i := range decoded {
+		p := &decoded[i]
+		si := p.si
+		quarantine, reason := false, ""
+		switch {
+		case p.unreadable:
+			// The media refused a summary slot. If the checkpoint knows the
+			// segment is free, nothing durable lived there; otherwise the
+			// slot may have held the newest acknowledged records.
+			if !seeded || l.segs[i].state != segFree {
+				quarantine, reason = true, "summary slot unreadable"
+			}
+		case p.suspectTS > floor && p.suspectTS <= lastValid &&
+			(si == nil || p.suspectTS > si.writeTS):
+			// Mid-log rot: an undecodable slot claims a timestamp inside the
+			// acknowledged history, and no intact slot of this segment
+			// supersedes it. (A suspect older than a valid sibling slot is
+			// just the stale ping-pong slot decaying — benign; a suspect
+			// beyond lastValid is the classic torn tail of the crashed
+			// write — also benign, nothing after it was acknowledged.)
+			quarantine = true
+			if si == nil {
+				reason = "summary corrupt mid-log"
+			} else {
+				reason = "newest summary slot corrupt mid-log"
+			}
+		}
+		if quarantine {
+			ts := p.suspectTS
+			if si != nil && si.writeTS > ts {
+				ts = si.writeTS
+			}
+			l.segs[i] = segInfo{state: segQuarantined, ts: ts}
+			report.QuarantinedSegments = append(report.QuarantinedSegments,
+				QuarantinedSegment{Seg: i, Reason: reason})
+			// A surviving older slot is a strict prefix of the lost newer
+			// image (both are appends of the same in-memory summary), so its
+			// facts were all true at their timestamps and replay them; newer
+			// facts elsewhere still win by timestamp, and data mapped into
+			// this segment is answered with ErrCorrupt, never served blind.
+			if si != nil && si.writeTS > floor {
+				summaries = append(summaries, segRecord{si: si, id: i})
+			}
+			continue
+		}
+		// Benign suspect slots are zeroed below. This is not cosmetic: as
+		// lastValid grows across boots, a torn slot left in place would be
+		// reclassified as mid-log rot by a later recovery.
+		for _, slot := range p.suspectSlots {
+			toZero = append(toZero, zeroSlot{i, slot})
+		}
 		if si == nil {
 			// Empty, foreign, or torn summary: without a checkpoint the
 			// segment holds nothing; with one, trust the checkpoint state.
@@ -212,6 +350,15 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 		}
 		summaries = append(summaries, segRecord{si: si, id: i})
 		l.segs[i] = segInfo{state: segLive, ts: si.writeTS}
+	}
+	if len(toZero) > 0 {
+		zero := make([]byte, lay.summarySize)
+		for _, z := range toZero {
+			if err := l.dskWrite(zero, lay.sumOff(z.seg, z.slot)); err != nil {
+				return err
+			}
+		}
+		report.TornSlotsCleared = len(toZero)
 	}
 
 	// Merge every record, find the newest committed timestamp, and replay
@@ -304,6 +451,7 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 				off:     bi.off,
 				stored:  bi.stored,
 				orig:    bi.orig,
+				crc:     bi.crc,
 			}
 		}
 		for _, lid := range l.order {
@@ -357,6 +505,8 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 		l.stats.RecoveryDiscards += int64(discarded)
 		l.fenceLo, l.fenceHi = lastCommitted, maxTS+1
 	}
+	report.DiscardedRecords = discarded
+	l.recReport = report
 	return nil
 }
 
@@ -374,6 +524,7 @@ func (l *LLD) replayEntry(rs *recState, e *blockEntry, seg int) {
 	b.off = e.off
 	b.stored = e.stored
 	b.orig = e.orig
+	b.crc = e.crc
 	b.dataTS = e.ts
 }
 
@@ -386,7 +537,7 @@ func (l *LLD) replayTuple(rs *recState, t *tupleRec) {
 		b.hasData = false
 		b.comp = false
 		b.seg = -1
-		b.off, b.stored, b.orig = 0, 0, 0
+		b.off, b.stored, b.orig, b.crc = 0, 0, 0, 0
 	}
 	setEdge := func(lid uint32, pred uint32, head bool, val ld.BlockID) {
 		if head {
@@ -514,6 +665,7 @@ func (l *LLD) replayTuple(rs *recState, t *tupleRec) {
 		b.off = t.args[2]
 		b.stored = t.args[3]
 		b.orig = t.args[4]
+		b.crc = t.args[6]
 	case tFence:
 		// Its effect (the dead window) was collected before the replay.
 	default:
@@ -573,6 +725,7 @@ func (l *LLD) installRecovered(rs *recState) {
 			bi.off = rb.off
 			bi.stored = rb.stored
 			bi.orig = rb.orig
+			bi.crc = rb.crc
 			if rb.seg >= 0 && int(rb.seg) < len(l.segs) {
 				l.segs[rb.seg].live += int64(rb.stored)
 				l.liveBytes += int64(rb.stored)

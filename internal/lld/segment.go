@@ -261,14 +261,16 @@ func (l *LLD) emitDataSnap(bid ld.BlockID) error {
 	}
 	seg := uint32(0)
 	var flags uint32
+	var crc uint32
 	if bi.hasData() {
 		seg = uint32(bi.seg) + 1
 		flags |= 1
 		if bi.flags&bComp != 0 {
 			flags |= 2
 		}
+		crc = bi.crc
 	}
-	l.emitTuple(tDataAt, uint32(bid), seg, bi.off, bi.stored, bi.orig, flags)
+	l.emitTuple(tDataAt, uint32(bid), seg, bi.off, bi.stored, bi.orig, flags, crc)
 	l.stats.SnapshotTuples++
 	return nil
 }
@@ -300,16 +302,16 @@ func (l *LLD) sealSegment() error {
 	dataBytes := (cur.dataOff + ss - 1) / ss * ss
 	sum := cur.buf[l.lay.dataCap() : l.lay.dataCap()+l.lay.summarySize]
 	if dataBytes >= l.lay.dataCap()/2 && cur.slot == 0 {
-		if err := l.dsk.WriteAt(cur.buf[:l.lay.dataCap()+l.lay.summarySize], l.lay.segOff(cur.id)); err != nil {
+		if err := l.dskWrite(cur.buf[:l.lay.dataCap()+l.lay.summarySize], l.lay.segOff(cur.id)); err != nil {
 			return err
 		}
 	} else {
 		if dataBytes > 0 {
-			if err := l.dsk.WriteAt(cur.buf[:dataBytes], l.lay.segOff(cur.id)); err != nil {
+			if err := l.dskWrite(cur.buf[:dataBytes], l.lay.segOff(cur.id)); err != nil {
 				return err
 			}
 		}
-		if err := l.dsk.WriteAt(sum, l.lay.sumOff(cur.id, cur.slot)); err != nil {
+		if err := l.dskWrite(sum, l.lay.sumOff(cur.id, cur.slot)); err != nil {
 			return err
 		}
 	}
@@ -321,6 +323,9 @@ func (l *LLD) sealSegment() error {
 	l.cur = nil
 	l.stats.SegmentsSealed++
 	l.releaseCooling()
+	if l.bgScrub != nil {
+		l.bgScrub.signal() // fresh durable bytes to verify
+	}
 	return nil
 }
 
@@ -329,7 +334,7 @@ func (l *LLD) sealSegment() error {
 // own slot, but the segment stays in memory and keeps filling; a later seal
 // rewrites the whole segment in place, and the earlier partial image is
 // superseded at no cleaning cost.
-func (l *LLD) writePartial() error { return l.writePartialVia(l.dsk.WriteAt, &l.stats.PartialWrites) }
+func (l *LLD) writePartial() error { return l.writePartialVia(l.dskWrite, &l.stats.PartialWrites) }
 
 // writePartialNVRAM is the §5.3 variant: the partial image lands in
 // battery-backed NVRAM, so no disk operation is charged.
@@ -439,7 +444,7 @@ func (l *LLD) readStored(bi *blockInfo, scratch *[]byte) ([]byte, error) {
 		*scratch = make([]byte, span)
 	}
 	buf := *scratch
-	if err := l.dsk.ReadAt(buf[:span], segBase+first); err != nil {
+	if err := l.dskRead(buf[:span], segBase+first); err != nil {
 		return nil, err
 	}
 	rel := int64(bi.off) - first

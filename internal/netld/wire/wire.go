@@ -129,6 +129,7 @@ const (
 	CodeBusy     // another session holds the atomic recovery unit
 	CodeProto    // protocol violation (bad opcode, short body, ...)
 	CodeInternal // unclassified server-side error
+	CodeCorrupt  // data failed integrity verification (ld.ErrCorrupt)
 )
 
 // Errors specific to the netld protocol layer.
@@ -155,6 +156,7 @@ var codeToErr = map[uint8]error{
 	CodeListNotEmpty: ld.ErrListNotEmpty,
 	CodeBusy:         ErrBusy,
 	CodeProto:        ErrProto,
+	CodeCorrupt:      ld.ErrCorrupt,
 }
 
 // CodeFor classifies an error as a wire status code. Unrecognized errors
@@ -181,6 +183,8 @@ func CodeFor(err error) uint8 {
 		return CodeShutdown
 	case errors.Is(err, ld.ErrListNotEmpty):
 		return CodeListNotEmpty
+	case errors.Is(err, ld.ErrCorrupt):
+		return CodeCorrupt
 	case errors.Is(err, ErrBusy):
 		return CodeBusy
 	case errors.Is(err, ErrProto):

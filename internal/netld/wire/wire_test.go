@@ -42,7 +42,7 @@ func TestErrorCodesRoundTrip(t *testing.T) {
 	sentinels := []error{
 		ld.ErrNoSpace, ld.ErrBadBlock, ld.ErrBadList, ld.ErrNotInList,
 		ld.ErrTooLarge, ld.ErrARUOpen, ld.ErrNoARU, ld.ErrShutdown,
-		ld.ErrListNotEmpty, ErrBusy,
+		ld.ErrListNotEmpty, ld.ErrCorrupt, ErrBusy,
 	}
 	for _, sent := range sentinels {
 		code := CodeFor(sent)
