@@ -39,6 +39,15 @@
 // continuous integrity checking costs the foreground:
 //
 //	ldbench -scrubbench
+//
+// The multi-disk suite measures sequential throughput on the virtual
+// clock over striped and mirrored backends (internal/mdisk): stripe
+// read/write scaling across leg counts, and mirror write fan-out and
+// degraded-read cost across replica counts:
+//
+//	ldbench -stripe            # stripe scaling sweep (1, 2, 4, 8 legs)
+//	ldbench -mirror            # mirror overhead sweep (1, 2, 3 replicas)
+//	ldbench -stripe -mirror    # both
 package main
 
 import (
@@ -184,6 +193,35 @@ func runScrubBench(clients, ops int) error {
 	return nil
 }
 
+// runMultiDisk runs the requested striped/mirrored throughput sweeps
+// and prints one line per phase plus the stripe scaling factors.
+func runMultiDisk(stripe, mirror bool, ioBytes int64) error {
+	cfg := ldmicro.MultiDiskConfig{IOBytes: ioBytes}
+	if !stripe {
+		cfg.StripeCounts = []int{} // non-nil empty: skip the mode
+	}
+	if !mirror {
+		cfg.MirrorCounts = []int{}
+	}
+	fmt.Printf("# multi-disk throughput (virtual clock) — %d KB per phase, sequential\n", ioBytes>>10)
+	results, err := ldmicro.RunMultiDisk(cfg)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]float64) // mode+op of the smallest count
+	for _, r := range results {
+		line := r.String()
+		key := r.Mode + r.Op
+		if _, ok := base[key]; !ok {
+			base[key] = r.MBPerSec()
+		} else if b := base[key]; b > 0 && r.Backends > 1 {
+			line += fmt.Sprintf("  (%.2fx vs 1)", r.MBPerSec()/b)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
 // parseClients parses a comma-separated client-count list like "1,4,16".
 func parseClients(s string) ([]int, error) {
 	var out []int
@@ -230,17 +268,29 @@ func main() {
 	cleanOps := flag.Int("clean-ops", 500, "rewrites per client for -cleanbench")
 	scrubbench := flag.Bool("scrubbench", false, "run the with-vs-without background scrubber writer-stall comparison")
 	scrubOps := flag.Int("scrub-ops", 500, "rewrites per client for -scrubbench")
+	stripeBench := flag.Bool("stripe", false, "run the striped-backend throughput sweep (virtual clock, 1/2/4/8 legs)")
+	mirrorBench := flag.Bool("mirror", false, "run the mirrored-backend overhead sweep (virtual clock, 1/2/3 replicas)")
+	mdiskBytes := flag.Int64("mdisk-bytes", 8<<20, "bytes moved per phase in the -stripe/-mirror sweeps")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n")
-		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -stripe | -mirror [-mdisk-bytes N]   (multi-disk throughput, virtual clock)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
+
+	if *stripeBench || *mirrorBench {
+		if err := runMultiDisk(*stripeBench, *mirrorBench, *mdiskBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cleanbench {
 		if err := runCleanBench(4, *cleanOps); err != nil {

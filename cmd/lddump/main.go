@@ -9,10 +9,16 @@
 // checksum, rotted summaries are distinguished from benign torn tails, and
 // the process exits nonzero if any fault is found.
 //
+// Multi-disk image sets written by mkld -mirror/-stripe (files named
+// <image>.0 … <image>.N-1) are inspected with the same flags on lddump:
+// the set is composed back into one logical backend first.
+//
 // Usage:
 //
 //	lddump [-v] disk.img
 //	lddump -verify disk.img
+//	lddump [-v|-verify] -mirror 2 disk.img      # reads disk.img.0, disk.img.1
+//	lddump [-v|-verify] -stripe 4 disk.img      # reads disk.img.0 … disk.img.3
 //	lddump [-v] -remote localhost:7093
 package main
 
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/lld"
+	"repro/internal/mdisk"
 	"repro/internal/netld/client"
 )
 
@@ -31,6 +38,8 @@ func main() {
 	verbose := flag.Bool("v", false, "list every block entry and tuple (image) or every block (remote)")
 	remote := flag.String("remote", "", "inspect a live netld server at this address instead of an image")
 	verify := flag.Bool("verify", false, "verify every block payload checksum instead of dumping; exit 1 on any fault")
+	mirrorN := flag.Int("mirror", 0, "compose the image from N mirror replicas <image>.0 … <image>.N-1")
+	stripeN := flag.Int("stripe", 0, "compose the image from N stripe legs <image>.0 … <image>.N-1")
 	flag.Parse()
 
 	if *remote != "" {
@@ -50,13 +59,8 @@ func main() {
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
-	info, err := os.Stat(path)
+	d, err := loadBackend(path, *mirrorN, *stripeN)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
-		os.Exit(1)
-	}
-	d := disk.New(disk.DefaultConfig(info.Size()))
-	if err := d.LoadImage(path); err != nil {
 		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
 		os.Exit(1)
 	}
@@ -75,6 +79,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lddump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadBackend opens the image (or image set) as the backend lld should
+// read: a plain disk, an N-way mirror over <path>.0 …, or an N-leg
+// stripe over the same naming.
+func loadBackend(path string, mirrorN, stripeN int) (disk.Backend, error) {
+	if mirrorN > 0 && stripeN > 0 {
+		return nil, fmt.Errorf("-mirror and -stripe are mutually exclusive")
+	}
+	n := mirrorN + stripeN
+	if n == 0 {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		d := disk.New(disk.DefaultConfig(info.Size()))
+		if err := d.LoadImage(path); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	kids := make([]disk.Backend, n)
+	for i := range kids {
+		p := fmt.Sprintf("%s.%d", path, i)
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		d := disk.New(disk.DefaultConfig(info.Size()))
+		if err := d.LoadImage(p); err != nil {
+			return nil, err
+		}
+		kids[i] = d
+	}
+	if mirrorN > 0 {
+		return mdisk.NewMirror(kids...)
+	}
+	return mdisk.NewStripe(kids...)
 }
 
 // dumpRemote walks a live server's logical state through the LD

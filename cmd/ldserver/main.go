@@ -8,6 +8,16 @@
 //	ldserver -addr :7093                          # fresh 64M in-memory LLD
 //	ldserver -addr :7093 -img disk.img            # serve an existing image
 //	ldserver -addr :7093 -size 256M -segment 512K # fresh, custom geometry
+//	ldserver -addr :7093 -mirror 2 -img disk.img  # serve disk.img.0, disk.img.1
+//	ldserver -addr :7093 -stripe 4                # fresh LLD over a 4-leg stripe
+//
+// With -mirror N the backing store is an N-way mirror (internal/mdisk):
+// reads are checksum-verified against any replica and silently healed,
+// writes fan out to all. Image sets use mkld's <img>.0 … <img>.N-1
+// naming. A replica image missing at startup starts the server degraded
+// — the slot gets a blank disk and is re-silvered online while clients
+// are being served, with progress logged. With -stripe N sectors are
+// round-robined over N legs for parallel transfer.
 //
 // If a client disconnects with an atomic recovery unit open, the server
 // aborts the unit by crash-style recovery (paper §3.3): the log is
@@ -27,11 +37,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"repro/internal/disk"
 	"repro/internal/ld"
 	"repro/internal/lld"
+	"repro/internal/mdisk"
 	"repro/internal/netld/server"
 )
 
@@ -72,6 +84,12 @@ func main() {
 		"verify block payload checksums against the media in a background goroutine")
 	scrubStep := flag.Int("scrub-step", 1,
 		"segments the background scrubber verifies per lock acquisition (with -bg-scrub)")
+	mirrorN := flag.Int("mirror", 0,
+		"serve from an N-way mirror; with -img the replicas are <img>.0 … <img>.N-1")
+	stripeN := flag.Int("stripe", 0,
+		"serve from an N-leg stripe; with -img the legs are <img>.0 … <img>.N-1")
+	rebuildStep := flag.Int("rebuild-step", 8,
+		"chunks the online rebuild of a missing mirror replica copies per lock acquisition")
 	quiet := flag.Bool("q", false, "suppress per-event logging")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldserver [flags]\n\nFlags:\n")
@@ -99,6 +117,15 @@ time. Latent corruption is then found proactively instead of at the next
 unlucky READ; either way damaged data is refused with a CORRUPT status,
 never served.
 
+With -mirror, every sector lives on N replicas: writes fan out to all of
+them, reads are served by any and re-checked against the LLD's per-block
+checksums, so a replica that rots or dies is read around (and healed by
+rewrite) without the client seeing an error. A replica image file that
+is missing at startup is hot-attached blank and re-silvered online in
+-rebuild-step chunk batches while the server runs. With -stripe, sectors
+round-robin over N legs, each with its own request queue, for parallel
+transfer. On shutdown each backing disk is saved to its own <img>.i.
+
 On graceful shutdown (SIGINT/SIGTERM) the server drains in-flight
 requests, checkpoints the LLD, and prints a per-opcode latency table
 (count, errors, approximate p50/p99 from a log2 histogram).
@@ -123,26 +150,16 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	opts.BackgroundScrub = *bgScrub
 	opts.ScrubStepSegments = *scrubStep
 
-	var d *disk.Disk
-	needFormat := true
-	if *img != "" {
-		if info, err := os.Stat(*img); err == nil {
-			d = disk.New(disk.DefaultConfig(info.Size()))
-			if err := d.LoadImage(*img); err != nil {
-				fail("load image: %v", err)
-			}
-			needFormat = false
-		}
+	bk, err := setupBackend(*img, capacity, *mirrorN, *stripeN)
+	if err != nil {
+		fail("%v", err)
 	}
-	if d == nil {
-		d = disk.New(disk.DefaultConfig(capacity))
-	}
-	if needFormat {
-		if err := lld.Format(d, opts); err != nil {
+	if bk.needFormat {
+		if err := lld.Format(bk.be, opts); err != nil {
 			fail("format: %v", err)
 		}
 	}
-	l, err := lld.Open(d, opts)
+	l, err := lld.Open(bk.be, opts)
 	if err != nil {
 		fail("open LLD: %v", err)
 	}
@@ -162,16 +179,39 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	}
 	srv := server.New(server.Config{
 		Disk:   l,
-		Reopen: func() (ld.Disk, error) { return lld.Open(d, opts) },
+		Reopen: func() (ld.Disk, error) { return lld.Open(bk.be, opts) },
 		Logf:   logf,
 	})
+
+	// Missing mirror replicas re-silver online while clients are served;
+	// the bounded lock steps keep request pauses short.
+	var rebuildWG sync.WaitGroup
+	for _, idx := range bk.rebuilding {
+		rebuildWG.Add(1)
+		go func(idx int) {
+			defer rebuildWG.Done()
+			lastDecile := -1
+			rep, err := bk.mirror.Rebuild(idx, *rebuildStep, func(done, total int) {
+				if d := done * 10 / total; d != lastDecile {
+					lastDecile = d
+					logf("ldserver: rebuild replica %d: %d%% (%d/%d chunks)", idx, d*10, done, total)
+				}
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldserver: rebuild replica %d FAILED: %v\n", idx, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ldserver: rebuild replica %d complete: %d chunks (%d MB) copied in %d steps, %s virtual\n",
+				idx, rep.Chunks, rep.Bytes>>20, rep.Steps, rep.Elapsed)
+		}(idx)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail("listen: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "ldserver: serving %s (%d MB, %d segments) on %s\n",
-		describe(*img), d.Capacity()>>20, l.SegmentCount(), ln.Addr())
+		bk.describe(*img), bk.be.Capacity()>>20, l.SegmentCount(), ln.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -185,18 +225,23 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 		fail("serve: %v", err)
 	}
 
-	// Graceful exit: checkpoint the LLD (the instance may have been
-	// swapped by an ARU abort, so fetch the current one) and save the
-	// image if asked to.
+	// Graceful exit: wait out any in-flight rebuild, checkpoint the LLD
+	// (the instance may have been swapped by an ARU abort, so fetch the
+	// current one) and save the image(s) if asked to.
+	rebuildWG.Wait()
 	cur := srv.Disk()
 	if err := cur.Shutdown(true); err != nil {
 		fail("clean shutdown: %v", err)
 	}
 	if *img != "" {
-		if err := d.SaveImage(*img); err != nil {
+		if err := bk.save(*img); err != nil {
 			fail("save image: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "ldserver: image saved to %s\n", *img)
+		if len(bk.kids) == 1 {
+			fmt.Fprintf(os.Stderr, "ldserver: image saved to %s\n", *img)
+		} else {
+			fmt.Fprintf(os.Stderr, "ldserver: images saved to %s.0 … %s.%d\n", *img, *img, len(bk.kids)-1)
+		}
 	}
 	if ll, ok := cur.(*lld.LLD); ok {
 		s := ll.Stats()
@@ -209,8 +254,196 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 			s.CorruptReads, s.ReadRetries, s.QuarantinedSegments,
 			s.ScrubPasses+s.BGScrubPasses, s.ScrubBlocks, s.ScrubBytes>>20,
 			s.ScrubErrors, s.ScrubRepairs)
+		if bk.mirror != nil || bk.stripe != nil {
+			fmt.Fprintf(os.Stderr,
+				"ldserver: redundancy: %d degraded reads, %d copies self-healed, %d healed by scrub, %d segments reclaimed\n",
+				s.DegradedReads, s.SelfHeals, s.ScrubHeals, s.ReclaimedSegments)
+		}
+	}
+	if bk.mirror != nil {
+		ms := bk.mirror.Stats()
+		fmt.Fprintf(os.Stderr,
+			"ldserver: mirror: %d reads (%d degraded), %d writes, %d copies healed, %d verify rejects, %d replica failures, %d rebuilds\n",
+			ms.Reads, ms.DegradedReads, ms.Writes, ms.Heals, ms.VerifyRejects, ms.ReplicaFailures, ms.RebuildsDone)
+	}
+	if bk.stripe != nil {
+		ss := bk.stripe.Stats()
+		fmt.Fprintf(os.Stderr,
+			"ldserver: stripe: %d reads + %d writes fanned into %d leg ops over %d legs (%d found a busy queue)\n",
+			ss.Reads, ss.Writes, ss.LegOps, bk.stripe.Backends(), ss.LegQueue)
+		bk.stripe.Close()
 	}
 	printStats(srv.Stats(), *quiet)
+}
+
+// backendSet is the sector store ldserver serves from plus the handles
+// needed for persistence, shutdown stats, and online rebuild.
+type backendSet struct {
+	be         disk.Backend
+	kids       []*disk.Disk // the physical disks, for image save
+	mirror     *mdisk.Mirror
+	stripe     *mdisk.Stripe
+	rebuilding []int // mirror slots that started blank and need a rebuild
+	needFormat bool
+}
+
+// setupBackend builds the backing store: a single simulated disk, an
+// N-way mirror, or an N-leg stripe, loading image files when they
+// exist. Multi-disk sets use mkld's <img>.0 … <img>.N-1 naming. A
+// mirror replica image missing at startup is replaced by a blank disk
+// marked rebuilding (reported in rebuilding); a missing stripe leg is
+// fatal, since its sectors exist nowhere else.
+func setupBackend(img string, capacity int64, mirrorN, stripeN int) (*backendSet, error) {
+	if mirrorN > 0 && stripeN > 0 {
+		return nil, fmt.Errorf("-mirror and -stripe are mutually exclusive")
+	}
+
+	load := func(path string) (*disk.Disk, error) {
+		info, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		d := disk.New(disk.DefaultConfig(info.Size()))
+		if err := d.LoadImage(path); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+
+	if mirrorN == 0 && stripeN == 0 {
+		bk := &backendSet{needFormat: true}
+		if img != "" {
+			if _, err := os.Stat(img); err == nil {
+				d, err := load(img)
+				if err != nil {
+					return nil, fmt.Errorf("load image: %w", err)
+				}
+				bk.kids, bk.be, bk.needFormat = []*disk.Disk{d}, d, false
+				return bk, nil
+			}
+		}
+		d := disk.New(disk.DefaultConfig(capacity))
+		bk.kids, bk.be = []*disk.Disk{d}, d
+		return bk, nil
+	}
+
+	n := mirrorN + stripeN // exactly one is nonzero
+	kids := make([]*disk.Disk, n)
+	var present []int
+	if img != "" {
+		for i := range kids {
+			if _, err := os.Stat(fmt.Sprintf("%s.%d", img, i)); err == nil {
+				present = append(present, i)
+			}
+		}
+	}
+
+	bk := &backendSet{kids: kids}
+	switch {
+	case stripeN > 0:
+		if len(present) == 0 { // fresh: each leg carries 1/N of the capacity
+			per := capacity / int64(n)
+			for i := range kids {
+				kids[i] = disk.New(disk.DefaultConfig(per))
+			}
+			bk.needFormat = true
+		} else if len(present) < n {
+			return nil, fmt.Errorf("stripe image set incomplete: %d of %d legs found (a stripe cannot run degraded)", len(present), n)
+		} else {
+			for i := range kids {
+				d, err := load(fmt.Sprintf("%s.%d", img, i))
+				if err != nil {
+					return nil, fmt.Errorf("load leg %d: %w", i, err)
+				}
+				kids[i] = d
+			}
+		}
+		s, err := mdisk.NewStripe(diskBackends(kids)...)
+		if err != nil {
+			return nil, err
+		}
+		bk.be, bk.stripe = s, s
+		return bk, nil
+
+	default: // mirrorN > 0
+		if len(present) == 0 { // fresh: every replica carries the full capacity
+			for i := range kids {
+				kids[i] = disk.New(disk.DefaultConfig(capacity))
+			}
+			bk.needFormat = true
+		} else {
+			repCap := int64(0)
+			for _, i := range present {
+				d, err := load(fmt.Sprintf("%s.%d", img, i))
+				if err != nil {
+					return nil, fmt.Errorf("load replica %d: %w", i, err)
+				}
+				kids[i] = d
+				if repCap == 0 {
+					repCap = d.Capacity()
+				}
+			}
+			for i := range kids {
+				if kids[i] == nil {
+					kids[i] = disk.New(disk.DefaultConfig(repCap))
+					bk.rebuilding = append(bk.rebuilding, i)
+				}
+			}
+		}
+		m, err := mdisk.NewMirror(diskBackends(kids)...)
+		if err != nil {
+			return nil, err
+		}
+		if !bk.needFormat {
+			// The image bytes never passed through this mirror's write
+			// path, so the written bitmap is blank; a rebuild must copy
+			// the whole capacity, not skip "unwritten" chunks.
+			m.MarkAllWritten()
+		}
+		for _, i := range bk.rebuilding {
+			m.FailReplica(i)
+			if err := m.AttachBlank(i, kids[i]); err != nil {
+				return nil, fmt.Errorf("attach blank replica %d: %w", i, err)
+			}
+		}
+		bk.be, bk.mirror = m, m
+		return bk, nil
+	}
+}
+
+// save writes each backing disk to its image file.
+func (bk *backendSet) save(img string) error {
+	if len(bk.kids) == 1 && bk.mirror == nil && bk.stripe == nil {
+		return bk.kids[0].SaveImage(img)
+	}
+	for i, k := range bk.kids {
+		if err := k.SaveImage(fmt.Sprintf("%s.%d", img, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bk *backendSet) describe(img string) string {
+	suffix := ""
+	switch {
+	case bk.mirror != nil:
+		suffix = fmt.Sprintf(" (%d-way mirror)", len(bk.kids))
+	case bk.stripe != nil:
+		suffix = fmt.Sprintf(" (%d-leg stripe)", len(bk.kids))
+	}
+	if img == "" {
+		return "in-memory LLD" + suffix
+	}
+	return "LLD image " + img + suffix
+}
+
+func diskBackends(kids []*disk.Disk) []disk.Backend {
+	out := make([]disk.Backend, len(kids))
+	for i, k := range kids {
+		out[i] = k
+	}
+	return out
 }
 
 // printStats renders the shutdown report: a one-line summary, the
@@ -251,11 +484,4 @@ func printStats(st server.Stats, quiet bool) {
 		js, _ := json.MarshalIndent(st, "", "  ")
 		fmt.Fprintf(os.Stderr, "ldserver: final stats:\n%s\n", js)
 	}
-}
-
-func describe(img string) string {
-	if img == "" {
-		return "in-memory LLD"
-	}
-	return "LLD image " + img
 }

@@ -2,9 +2,17 @@
 // Logical Disk layout (superblock, checkpoint region, segments), optionally
 // with a MINIX LLD file system on top.
 //
+// With -mirror N or -stripe N the logical disk is formatted over a
+// multi-disk backend (internal/mdisk) and the images are written as
+// disk.img.0 … disk.img.N-1, one file per backing disk. -size remains
+// the logical capacity: each mirror replica holds the full image, each
+// stripe leg holds 1/N of it.
+//
 // Usage:
 //
 //	mkld -size 64M [-segment 512K] [-fs] disk.img
+//	mkld -size 64M -mirror 2 disk.img     # writes disk.img.0, disk.img.1
+//	mkld -size 64M -stripe 4 disk.img     # writes disk.img.0 … disk.img.3
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/lld"
+	"repro/internal/mdisk"
 	"repro/internal/minixfs"
 )
 
@@ -37,12 +46,18 @@ func parseSize(s string) (int64, error) {
 }
 
 func main() {
-	size := flag.String("size", "64M", "disk capacity (K/M/G suffixes)")
+	size := flag.String("size", "64M", "logical disk capacity (K/M/G suffixes)")
 	segment := flag.String("segment", "512K", "LLD segment size")
 	withFS := flag.Bool("fs", false, "also create a MINIX LLD file system (per-file lists)")
+	mirrorN := flag.Int("mirror", 0, "mirror the logical disk over N replicas (images <image>.0 … <image>.N-1)")
+	stripeN := flag.Int("stripe", 0, "stripe the logical disk over N legs (images <image>.0 … <image>.N-1)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mkld [-size N] [-segment N] [-fs] <image>")
+		fmt.Fprintln(os.Stderr, "usage: mkld [-size N] [-segment N] [-fs] [-mirror N | -stripe N] <image>")
+		os.Exit(2)
+	}
+	if *mirrorN > 0 && *stripeN > 0 {
+		fmt.Fprintln(os.Stderr, "mkld: -mirror and -stripe are mutually exclusive")
 		os.Exit(2)
 	}
 	capacity, err := parseSize(*size)
@@ -56,7 +71,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := disk.New(disk.DefaultConfig(capacity))
+	var (
+		d    disk.Backend
+		kids []*disk.Disk
+		kind string
+	)
+	switch {
+	case *mirrorN > 0:
+		kids = newDisks(*mirrorN, capacity)
+		m, err := mdisk.NewMirror(backends(kids)...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: mirror: %v\n", err)
+			os.Exit(1)
+		}
+		d, kind = m, fmt.Sprintf(", %d-way mirror", *mirrorN)
+	case *stripeN > 0:
+		per := capacity / int64(*stripeN)
+		kids = newDisks(*stripeN, per)
+		s, err := mdisk.NewStripe(backends(kids)...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: stripe: %v\n", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		d, kind = s, fmt.Sprintf(", %d-leg stripe", *stripeN)
+	default:
+		one := disk.New(disk.DefaultConfig(capacity))
+		kids = []*disk.Disk{one}
+		d = one
+	}
 	opts := lld.DefaultOptions()
 	opts.SegmentSize = int(segSize)
 	if err := lld.Format(d, opts); err != nil {
@@ -88,11 +131,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mkld: shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	if err := d.SaveImage(flag.Arg(0)); err != nil {
-		fmt.Fprintf(os.Stderr, "mkld: save: %v\n", err)
-		os.Exit(1)
+	if len(kids) == 1 {
+		if err := kids[0].SaveImage(flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "mkld: save: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for i, k := range kids {
+			path := fmt.Sprintf("%s.%d", flag.Arg(0), i)
+			if err := k.SaveImage(path); err != nil {
+				fmt.Fprintf(os.Stderr, "mkld: save %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
 	}
-	fmt.Printf("mkld: %s: %d MB, %d segments of %d KB%s\n",
-		flag.Arg(0), capacity>>20, l.SegmentCount(), segSize>>10,
+	fmt.Printf("mkld: %s: %d MB, %d segments of %d KB%s%s\n",
+		flag.Arg(0), d.Capacity()>>20, l.SegmentCount(), segSize>>10, kind,
 		map[bool]string{true: ", MINIX LLD file system", false: ""}[*withFS])
+}
+
+func newDisks(n int, capacity int64) []*disk.Disk {
+	out := make([]*disk.Disk, n)
+	for i := range out {
+		out[i] = disk.New(disk.DefaultConfig(capacity))
+	}
+	return out
+}
+
+func backends(kids []*disk.Disk) []disk.Backend {
+	out := make([]disk.Backend, len(kids))
+	for i, k := range kids {
+		out[i] = k
+	}
+	return out
 }

@@ -1,0 +1,177 @@
+// Multi-disk microbenchmarks: sequential throughput over striped and
+// mirrored backends (internal/mdisk), measured on the simulated disks'
+// virtual clock. Unlike the wall-time suites in this package, the
+// interesting quantity here is mechanical: a stripe's legs seek and
+// transfer in parallel, so N legs should move close to N times the
+// bytes per virtual second, while a mirror's write fan-out costs almost
+// nothing in time (the arms move together) but doubles the media
+// traffic. The virtual clock sees exactly that and nothing else.
+
+package ldmicro
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/mdisk"
+)
+
+// MultiDiskConfig sizes the multi-disk throughput sweep.
+type MultiDiskConfig struct {
+	// StripeCounts are the leg counts for the stripe scaling sweep.
+	// nil defaults to 1, 2, 4, 8; an empty non-nil slice skips the mode.
+	StripeCounts []int
+	// MirrorCounts are the replica counts for the mirror overhead sweep.
+	// nil defaults to 1, 2, 3; an empty non-nil slice skips the mode.
+	MirrorCounts []int
+	// IOBytes is the total data moved per phase. Default 8 MiB.
+	IOBytes int64
+	// ChunkSectors is the request size in sectors. Default 64 (32 KiB at
+	// 512-byte sectors) — big enough to amortize seeks, small enough
+	// that a stripe splits every request across all its legs.
+	ChunkSectors int
+	// ChildCapacity is each backing disk's size. Default 16 MiB.
+	ChildCapacity int64
+}
+
+func (c MultiDiskConfig) withDefaults() MultiDiskConfig {
+	if c.StripeCounts == nil {
+		c.StripeCounts = []int{1, 2, 4, 8}
+	}
+	if c.MirrorCounts == nil {
+		c.MirrorCounts = []int{1, 2, 3}
+	}
+	if c.IOBytes <= 0 {
+		c.IOBytes = 8 << 20
+	}
+	if c.ChunkSectors <= 0 {
+		c.ChunkSectors = 64
+	}
+	if c.ChildCapacity <= 0 {
+		c.ChildCapacity = 16 << 20
+	}
+	return c
+}
+
+// MultiDiskResult is one (mode, backend count, operation) measurement.
+type MultiDiskResult struct {
+	Mode     string  // "stripe" or "mirror"
+	Backends int     // legs or replicas
+	Op       string  // "seq write", "seq read", "degraded read"
+	Bytes    int64   // user bytes moved
+	Seconds  float64 // virtual-clock time consumed
+}
+
+// MBPerSec returns the phase's virtual-clock throughput.
+func (r MultiDiskResult) MBPerSec() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / r.Seconds
+}
+
+func (r MultiDiskResult) String() string {
+	return fmt.Sprintf("%-6s n=%d  %-13s %6.2f MB/s virtual  (%d KB in %.3fs)",
+		r.Mode, r.Backends, r.Op, r.MBPerSec(), r.Bytes>>10, r.Seconds)
+}
+
+// RunMultiDisk runs the stripe scaling and mirror overhead sweeps and
+// returns one result per phase, in run order.
+func RunMultiDisk(cfg MultiDiskConfig) ([]MultiDiskResult, error) {
+	cfg = cfg.withDefaults()
+	var out []MultiDiskResult
+
+	for _, n := range cfg.StripeCounts {
+		s, err := mdisk.NewStripe(freshDisks(n, cfg.ChildCapacity)...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sweepBackend("stripe", n, s, cfg)
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+
+	for _, n := range cfg.MirrorCounts {
+		m, err := mdisk.NewMirror(freshDisks(n, cfg.ChildCapacity)...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sweepBackend("mirror", n, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+		// Degraded read: with a replica down, the survivors carry the
+		// same read load — the virtual clock shows what one lost arm
+		// costs (nothing for n=2 reads-from-any, it's the margin that
+		// shrinks).
+		if n >= 2 {
+			m.FailReplica(0)
+			r, err := ioPhase("mirror", n, "degraded read", m, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// sweepBackend measures a sequential write then a sequential read over b.
+func sweepBackend(mode string, n int, b disk.Backend, cfg MultiDiskConfig) ([]MultiDiskResult, error) {
+	w, err := ioPhase(mode, n, "seq write", b, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ioPhase(mode, n, "seq read", b, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return []MultiDiskResult{w, r}, nil
+}
+
+// ioPhase streams cfg.IOBytes sequentially through b and charges the
+// elapsed virtual time to the result.
+func ioPhase(mode string, n int, op string, b disk.Backend, cfg MultiDiskConfig, write bool) (MultiDiskResult, error) {
+	chunk := int64(cfg.ChunkSectors * b.SectorSize())
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	total := cfg.IOBytes
+	if max := b.Capacity() / chunk * chunk; total > max {
+		total = max
+	}
+	start := b.Now()
+	var moved int64
+	for off := int64(0); off+chunk <= b.Capacity() && moved < total; off += chunk {
+		var err error
+		if write {
+			err = b.WriteAt(buf, off)
+		} else {
+			err = b.ReadAt(buf, off)
+		}
+		if err != nil {
+			return MultiDiskResult{}, fmt.Errorf("%s n=%d %s at %d: %w", mode, n, op, off, err)
+		}
+		moved += chunk
+	}
+	return MultiDiskResult{
+		Mode:     mode,
+		Backends: n,
+		Op:       op,
+		Bytes:    moved,
+		Seconds:  (b.Now() - start).Seconds(),
+	}, nil
+}
+
+func freshDisks(n int, capacity int64) []disk.Backend {
+	kids := make([]disk.Backend, n)
+	for i := range kids {
+		kids[i] = disk.New(disk.DefaultConfig(capacity))
+	}
+	return kids
+}

@@ -1,0 +1,45 @@
+package ldmicro
+
+import "testing"
+
+// TestRunMultiDisk checks the sweep's shape and its headline physics:
+// striped sequential reads get faster with more legs, and a mirror's
+// write fan-out does not slow the virtual clock down by the replica
+// count (the arms move in parallel).
+func TestRunMultiDisk(t *testing.T) {
+	cfg := MultiDiskConfig{
+		StripeCounts:  []int{1, 4},
+		MirrorCounts:  []int{1, 2},
+		IOBytes:       2 << 20,
+		ChildCapacity: 4 << 20,
+	}
+	results, err := RunMultiDisk(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]MultiDiskResult)
+	for _, r := range results {
+		if r.Bytes == 0 || r.Seconds <= 0 {
+			t.Fatalf("empty phase: %+v", r)
+		}
+		byKey[r.Mode+string(rune('0'+r.Backends))+r.Op] = r
+	}
+	// 2 phases per stripe count, 2 per mirror count, +1 degraded read for n=2.
+	if want := 2*2 + 2*2 + 1; len(results) != want {
+		t.Fatalf("got %d results, want %d", len(results), want)
+	}
+
+	s1 := byKey["stripe1seq read"]
+	s4 := byKey["stripe4seq read"]
+	if s4.MBPerSec() < 1.5*s1.MBPerSec() {
+		t.Fatalf("4-leg stripe reads %.2f MB/s vs %.2f single: no scaling", s4.MBPerSec(), s1.MBPerSec())
+	}
+	m1 := byKey["mirror1seq write"]
+	m2 := byKey["mirror2seq write"]
+	if m2.Seconds > 1.5*m1.Seconds {
+		t.Fatalf("2-way mirror write took %.3fs vs %.3fs single: fan-out not parallel", m2.Seconds, m1.Seconds)
+	}
+	if _, ok := byKey["mirror2degraded read"]; !ok {
+		t.Fatal("missing degraded-read phase for the 2-way mirror")
+	}
+}

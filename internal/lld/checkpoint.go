@@ -2,9 +2,11 @@ package lld
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
+	"repro/internal/disk"
 	"repro/internal/ld"
 )
 
@@ -134,7 +136,15 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 	var candidates []slotInfo
 	for slot := 0; slot < 2; slot++ {
 		off := l.lay.checkpointOff + int64(slot)*l.lay.checkpointSize
-		if err := l.dskRead(head, off); err != nil {
+		// On a redundant backend, accept any replica whose header looks
+		// valid; a slot no copy validates is classified from a plain read
+		// (an invalid slot on every replica is just an unused slot).
+		if _, err := l.dskReadVerified(head, off, func(b []byte) bool {
+			return binary.LittleEndian.Uint32(b[0:]) == checkpointMagic && b[20] == 1
+		}); err != nil {
+			if errors.Is(err, disk.ErrNoValidReplica) {
+				continue
+			}
 			return false, false, err
 		}
 		if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic || head[20] != 1 {
@@ -159,11 +169,19 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 		off := l.lay.checkpointOff + int64(c.slot)*l.lay.checkpointSize
 		total := (checkpointHeaderSize + c.plen + ss - 1) / ss * ss
 		buf := make([]byte, total)
-		if err := l.dskRead(buf, off); err != nil {
+		plen := c.plen
+		verified, err := l.dskReadVerified(buf, off, func(b []byte) bool {
+			p := b[checkpointHeaderSize : checkpointHeaderSize+plen]
+			return crc32.Checksum(p, crcTable) == binary.LittleEndian.Uint32(b[4:])
+		})
+		if err != nil {
+			if errors.Is(err, disk.ErrNoValidReplica) {
+				continue // torn on every replica: try the other slot
+			}
 			return false, false, err
 		}
 		payload := buf[checkpointHeaderSize : checkpointHeaderSize+c.plen]
-		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:]) {
+		if !verified && crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[4:]) {
 			continue // torn checkpoint: try the other slot
 		}
 		if err := l.decodeCheckpoint(payload); err != nil {

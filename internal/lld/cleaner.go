@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/compress"
+	"repro/internal/disk"
 	"repro/internal/ld"
 )
 
@@ -276,15 +277,43 @@ func (l *LLD) cleanSegment(id int) error {
 		}
 	}
 
-	// Re-log every fact whose newest determining record lives in this
-	// summary. Records are absolute per-field assignments, so the check is
-	// per field: a block's existence/membership (existTS), its successor
-	// pointer (linkTS), its data location (dataTS), and a list's existence,
-	// head, and order position. If the victim holds the newest record for
-	// a field, the cleaner restates that field with a fresh timestamp
-	// before the summary is destroyed — this is the paper's "removes old
-	// logging information ... during cleaning" (§3.5) made precise.
 	emittedBefore := l.stats.SnapshotTuples
+	if err := l.relogSummaryFacts(si); err != nil {
+		return err
+	}
+
+	if l.segs[id].live != 0 {
+		return fmt.Errorf("lld: internal: segment %d retains %d live bytes after cleaning", id, l.segs[id].live)
+	}
+	if len(ordered) == 0 && l.stats.SnapshotTuples == emittedBefore && l.cur == nil && !l.aruOpen {
+		// Nothing was moved and nothing re-logged: every fact in this
+		// summary is superseded by records already durable elsewhere (no
+		// open segment means no undurable winners), so the cooling rule's
+		// wait-for-durability has nothing to wait for. Free it directly —
+		// this is also what lets recovery bootstrap cleaning on a disk
+		// whose every segment carries a (stale) summary.
+		l.segs[id].state = segFree
+		l.freeSegs = append(l.freeSegs, id)
+		l.stats.SegmentsCleaned++
+		return nil
+	}
+	l.retireSegment(id)
+	l.stats.SegmentsCleaned++
+	return nil
+}
+
+// relogSummaryFacts re-logs every fact whose newest determining record
+// lives in the given summary, which the caller is about to destroy.
+// Records are absolute per-field assignments, so the check is per
+// field: a block's existence/membership (existTS), its successor
+// pointer (linkTS), its data location (dataTS), and a list's existence,
+// head, and order position. If the doomed summary holds the newest
+// record for a field, that field is restated with a fresh timestamp —
+// this is the paper's "removes old logging information ... during
+// cleaning" (§3.5) made precise. Both the cleaner (before retiring a
+// victim) and quarantine reclaim (before zeroing the evidence slots)
+// rely on it. Callers hold l.mu.
+func (l *LLD) relogSummaryFacts(si *summaryInfo) error {
 	mExist := make(map[ld.BlockID]uint64)
 	mLink := make(map[ld.BlockID]uint64)
 	mData := make(map[ld.BlockID]uint64)
@@ -423,24 +452,6 @@ func (l *LLD) cleanSegment(id int) error {
 		l.emitTuple(tFence, args[0], args[1], args[2], args[3])
 		l.stats.SnapshotTuples++
 	}
-
-	if l.segs[id].live != 0 {
-		return fmt.Errorf("lld: internal: segment %d retains %d live bytes after cleaning", id, l.segs[id].live)
-	}
-	if len(ordered) == 0 && l.stats.SnapshotTuples == emittedBefore && l.cur == nil && !l.aruOpen {
-		// Nothing was moved and nothing re-logged: every fact in this
-		// summary is superseded by records already durable elsewhere (no
-		// open segment means no undurable winners), so the cooling rule's
-		// wait-for-durability has nothing to wait for. Free it directly —
-		// this is also what lets recovery bootstrap cleaning on a disk
-		// whose every segment carries a (stale) summary.
-		l.segs[id].state = segFree
-		l.freeSegs = append(l.freeSegs, id)
-		l.stats.SegmentsCleaned++
-		return nil
-	}
-	l.retireSegment(id)
-	l.stats.SegmentsCleaned++
 	return nil
 }
 
@@ -472,10 +483,22 @@ func (l *LLD) moveBlock(bid ld.BlockID, victimBuf []byte) error {
 	bi := &l.blocks[bid]
 	data := victimBuf[bi.off : bi.off+bi.stored]
 	// Never relocate rotted bytes: a mismatch here would otherwise be
-	// laundered into a fresh segment under a recomputed checksum.
+	// laundered into a fresh segment under a recomputed checksum. The
+	// victim image was one bulk read, so on a redundant backend it came
+	// from a single replica — retry the block's span with replica
+	// selection (healing the bad copy) before giving up.
 	if !l.opts.DisableReadVerify && payloadCRC(data) != bi.crc {
-		l.stats.CorruptReads++
-		return &CorruptError{Block: bid, Seg: int(bi.seg), Reason: "payload checksum mismatch during cleaning"}
+		fixed := false
+		if _, isMulti := l.dsk.(disk.MultiReader); isMulti {
+			if good, verified, err := l.readStoredVerified(bi, &l.scratch); err == nil && verified {
+				data = append([]byte(nil), good...)
+				fixed = true
+			}
+		}
+		if !fixed {
+			l.stats.CorruptReads++
+			return &CorruptError{Block: bid, Seg: int(bi.seg), Reason: "payload checksum mismatch during cleaning"}
+		}
 	}
 	compressedNow := bi.flags&bComp != 0
 	if l.opts.CompressOnClean && !compressedNow && int(bi.stored) >= 64 {
@@ -548,12 +571,15 @@ outer:
 			if !bi.hasData() {
 				continue
 			}
-			stored, err := l.readStored(bi, &l.scratch)
+			stored, verified, err := l.readStoredVerified(bi, &l.scratch)
 			if err != nil {
+				if errors.Is(err, disk.ErrNoValidReplica) {
+					l.stats.CorruptReads++
+					return &CorruptError{Block: b, Seg: int(bi.seg), Reason: "no replica passed verification during reorganize", Err: err}
+				}
 				return err
 			}
-			fromMemory := l.cur != nil && int32(l.cur.id) == bi.seg
-			if !fromMemory && !l.opts.DisableReadVerify && payloadCRC(stored) != bi.crc {
+			if !verified && !l.opts.DisableReadVerify && payloadCRC(stored) != bi.crc {
 				l.stats.CorruptReads++
 				return &CorruptError{Block: b, Seg: int(bi.seg), Reason: "payload checksum mismatch during reorganize"}
 			}

@@ -13,7 +13,7 @@ import (
 // the superblock geometry, both checkpoint slots, and a per-segment summary
 // overview. With verbose set, every block entry and tuple is listed. It is
 // the engine behind cmd/lddump and reads the disk without mutating it.
-func Dump(d *disk.Disk, w io.Writer, verbose bool) error {
+func Dump(d disk.Backend, w io.Writer, verbose bool) error {
 	sector := make([]byte, d.SectorSize())
 	if err := d.ReadAt(sector, 0); err != nil {
 		return err
@@ -89,7 +89,7 @@ func Dump(d *disk.Disk, w io.Writer, verbose bool) error {
 // undecodable magic-bearing slot claiming a write timestamp at or below the
 // newest acknowledged one (lastValid) was once whole and has rotted; one
 // claiming a later timestamp is the benign torn tail of the crash.
-func Verify(d *disk.Disk, w io.Writer) (faults int, err error) {
+func Verify(d disk.Backend, w io.Writer) (faults int, err error) {
 	sector := make([]byte, d.SectorSize())
 	if err := d.ReadAt(sector, 0); err != nil {
 		return 0, err

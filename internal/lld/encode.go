@@ -14,7 +14,7 @@ const (
 	superMagic      = 0x4C4C4431 // "LLD1"
 	summaryMagic    = 0x4C445347 // "LDSG"
 	checkpointMagic = 0x4C444350 // "LDCP"
-	formatVersion   = 2 // v2: block entries and checkpoint records carry a payload CRC32C
+	formatVersion   = 2          // v2: block entries and checkpoint records carry a payload CRC32C
 
 	superEncSize      = 60
 	summaryHeaderSize = 36

@@ -178,21 +178,46 @@ func (l *LLD) scrubOneSegment(seg int, repair bool, res *ScrubResult) error {
 		if bi.stored == 0 {
 			continue // empty payload: nothing on the media to verify
 		}
-		stored, err := l.readStored(bi, &l.scratch)
-		if err != nil {
-			if !errors.Is(err, disk.ErrUnreadable) {
-				return err
+		var stored []byte
+		if mr, isMulti := l.dsk.(disk.MultiReader); isMulti && !l.opts.DisableReadVerify {
+			// Redundant backend: check every replica's copy and heal bad
+			// ones, so a clean pass proves all copies intact — not just
+			// whichever copy a read happens to pick.
+			var healed int
+			var err error
+			stored, healed, err = l.verifyStoredAllCopies(mr, bi)
+			if healed > 0 {
+				l.stats.ScrubHeals += int64(healed)
+				l.stats.SelfHeals += int64(healed)
 			}
-			res.Corrupt = append(res.Corrupt, bid)
-			l.stats.ScrubErrors++
-			continue
-		}
-		res.Bytes += int64(bi.stored)
-		l.stats.ScrubBytes += int64(bi.stored)
-		if payloadCRC(stored) != bi.crc {
-			res.Corrupt = append(res.Corrupt, bid)
-			l.stats.ScrubErrors++
-			continue
+			if err != nil {
+				if !errors.Is(err, disk.ErrUnreadable) && !errors.Is(err, disk.ErrNoValidReplica) {
+					return err
+				}
+				res.Corrupt = append(res.Corrupt, bid)
+				l.stats.ScrubErrors++
+				continue
+			}
+			res.Bytes += int64(bi.stored)
+			l.stats.ScrubBytes += int64(bi.stored)
+		} else {
+			var err error
+			stored, err = l.readStored(bi, &l.scratch)
+			if err != nil {
+				if !errors.Is(err, disk.ErrUnreadable) {
+					return err
+				}
+				res.Corrupt = append(res.Corrupt, bid)
+				l.stats.ScrubErrors++
+				continue
+			}
+			res.Bytes += int64(bi.stored)
+			l.stats.ScrubBytes += int64(bi.stored)
+			if payloadCRC(stored) != bi.crc {
+				res.Corrupt = append(res.Corrupt, bid)
+				l.stats.ScrubErrors++
+				continue
+			}
 		}
 		if st != segQuarantined || !repair {
 			continue

@@ -138,17 +138,22 @@ type Stats struct {
 	RecoveryAnomalies     int64 // defensive-replay oddities
 	RecoveryDiscards      int64 // incomplete-ARU records discarded by the sweep
 
-	ReadRetries    int64 // transient disk errors absorbed by bounded retry
-	CorruptReads   int64 // reads refused with ErrCorrupt (bad CRC, quarantine, media)
-	ScrubPasses    int64 // full scrub passes completed
-	ScrubSegments  int64 // segments walked by the scrubber
-	ScrubBlocks    int64 // live blocks whose payload CRC was verified
-	ScrubBytes     int64 // stored bytes the scrubber read and verified
-	ScrubErrors    int64 // corrupt or unreadable blocks the scrubber found
-	ScrubRepairs   int64 // degraded blocks salvaged by rewrite
-	BGScrubPasses  int64 // background-scrubber passes completed
-	BGScrubSteps   int64 // exclusive-lock acquisitions by the background scrubber
+	ReadRetries         int64 // transient disk errors absorbed by bounded retry
+	CorruptReads        int64 // reads refused with ErrCorrupt (bad CRC, quarantine, media)
+	ScrubPasses         int64 // full scrub passes completed
+	ScrubSegments       int64 // segments walked by the scrubber
+	ScrubBlocks         int64 // live blocks whose payload CRC was verified
+	ScrubBytes          int64 // stored bytes the scrubber read and verified
+	ScrubErrors         int64 // corrupt or unreadable blocks the scrubber found
+	ScrubRepairs        int64 // degraded blocks salvaged by rewrite
+	BGScrubPasses       int64 // background-scrubber passes completed
+	BGScrubSteps        int64 // exclusive-lock acquisitions by the background scrubber
 	QuarantinedSegments int64 // segments currently quarantined (gauge)
+
+	DegradedReads     int64 // reads served from a surviving replica of a redundant backend
+	SelfHeals         int64 // replica copies healed by rewriting verified bytes
+	ScrubHeals        int64 // replica copies healed by the scrubber's all-copies pass
+	ReclaimedSegments int64 // quarantined segments returned to the free pool
 }
 
 // LLD is a log-structured Logical Disk. It implements ld.Disk.
@@ -167,7 +172,7 @@ type Stats struct {
 // strictly inside mu and is never held across I/O.
 type LLD struct {
 	mu   sync.RWMutex
-	dsk  *disk.Disk
+	dsk  disk.Backend
 	opts Options
 	lay  layout
 	shut bool
@@ -258,7 +263,7 @@ var _ ld.Disk = (*LLD)(nil)
 // Format initializes an LLD layout on the disk: superblock, empty
 // checkpoint slots, and invalidated segment summaries. Any previous
 // contents are irrecoverable afterwards.
-func Format(dsk *disk.Disk, opts Options) error {
+func Format(dsk disk.Backend, opts Options) error {
 	lay, err := computeLayout(dsk.Capacity(), dsk.SectorSize(), opts)
 	if err != nil {
 		return err
@@ -293,9 +298,19 @@ func Format(dsk *disk.Disk, opts Options) error {
 // from opts. If a valid clean-shutdown checkpoint exists it is loaded and
 // invalidated; otherwise the state is rebuilt by the one-sweep recovery of
 // paper §3.6.
-func Open(dsk *disk.Disk, opts Options) (*LLD, error) {
+func Open(dsk disk.Backend, opts Options) (*LLD, error) {
 	sector := make([]byte, dsk.SectorSize())
-	if err := dsk.ReadAt(sector, 0); err != nil {
+	// On a redundant backend, accept any replica whose superblock decodes:
+	// a wholly-rotted mirror copy must not keep the store from opening.
+	if mr, ok := dsk.(disk.MultiReader); ok {
+		_, err := mr.ReadAtVerified(sector, 0, func(b []byte) bool {
+			_, e := decodeSuper(b)
+			return e == nil
+		})
+		if err != nil && !errors.Is(err, disk.ErrNoValidReplica) {
+			return nil, err
+		}
+	} else if err := dsk.ReadAt(sector, 0); err != nil {
 		return nil, err
 	}
 	lay, err := decodeSuper(sector)
@@ -432,7 +447,27 @@ func (l *LLD) dskWrite(p []byte, off int64) error {
 	return err
 }
 
-// getReadBuf returns a scratch buffer for a shared-lock read.
+// dskReadVerified reads len(p) bytes at off, preferring a copy that
+// satisfies ok when the backend keeps redundant replicas. The returned
+// verified flag reports that p is known to satisfy ok (so callers may
+// skip their own check); on a single-copy backend it is always false
+// and the caller verifies as usual. Replica fallbacks and heals are
+// counted in the degraded-read stats. Safe under the shared lock.
+func (l *LLD) dskReadVerified(p []byte, off int64, ok func([]byte) bool) (verified bool, err error) {
+	mr, multi := l.dsk.(disk.MultiReader)
+	if !multi {
+		return false, l.dskRead(p, off)
+	}
+	healed, err := mr.ReadAtVerified(p, off, ok)
+	if healed > 0 {
+		atomic.AddInt64(&l.stats.DegradedReads, 1)
+		atomic.AddInt64(&l.stats.SelfHeals, int64(healed))
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
 func (l *LLD) getReadBuf() []byte {
 	if b, ok := l.readBufs.Get().(*[]byte); ok {
 		return *b

@@ -36,20 +36,24 @@ func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
 		return 0, &CorruptError{Block: b, Seg: int(bi.seg), Reason: "segment quarantined by recovery"}
 	}
 	scratch := l.getReadBuf()
-	defer func() { l.putReadBuf(scratch) }() // readStored may grow scratch
-	stored, err := l.readStored(bi, &scratch)
+	defer func() { l.putReadBuf(scratch) }() // readStoredVerified may grow scratch
+	stored, verified, err := l.readStoredVerified(bi, &scratch)
 	if err != nil {
-		if errors.Is(err, disk.ErrUnreadable) {
+		switch {
+		case errors.Is(err, disk.ErrNoValidReplica):
+			atomic.AddInt64(&l.stats.CorruptReads, 1)
+			return 0, &CorruptError{Block: b, Seg: int(bi.seg), Reason: "no replica passed verification", Err: err}
+		case errors.Is(err, disk.ErrUnreadable):
 			atomic.AddInt64(&l.stats.CorruptReads, 1)
 			return 0, &CorruptError{Block: b, Seg: int(bi.seg), Reason: "unreadable sector", Err: err}
 		}
 		return 0, err
 	}
-	// Verify the payload checksum end to end unless the bytes were served
-	// straight from the in-memory open segment (which cannot rot in this
-	// model) or verification is disabled for benchmarking.
-	fromMemory := l.cur != nil && int32(l.cur.id) == bi.seg
-	if !fromMemory && !l.opts.DisableReadVerify && payloadCRC(stored) != bi.crc {
+	// Verify the payload checksum end to end unless the bytes are already
+	// known good: served from the in-memory open segment (which cannot rot
+	// in this model) or proven by a redundant backend's replica selection.
+	// Disabled for benchmarking via DisableReadVerify.
+	if !verified && !l.opts.DisableReadVerify && payloadCRC(stored) != bi.crc {
 		atomic.AddInt64(&l.stats.CorruptReads, 1)
 		return 0, &CorruptError{Block: b, Seg: int(bi.seg), Reason: "payload checksum mismatch"}
 	}

@@ -164,6 +164,9 @@ func probeSlot(p *segProbe, slot int, buf []byte, lay layout, segID int) {
 // (after the transient retry) abort the sweep.
 func (l *LLD) probeSegment(i int, sum []byte) (segProbe, error) {
 	lay := l.lay
+	if mr, ok := l.dsk.(disk.MultiReader); ok {
+		return l.probeSegmentMulti(mr, i, sum)
+	}
 	var p segProbe
 	if err := l.dskRead(sum, lay.segOff(i)+int64(lay.dataCap())); err != nil {
 		if !errors.Is(err, disk.ErrUnreadable) {
@@ -184,6 +187,48 @@ func (l *LLD) probeSegment(i int, sum []byte) (segProbe, error) {
 	}
 	for slot := 0; slot < 2; slot++ {
 		probeSlot(&p, slot, sum[slot*lay.summarySize:(slot+1)*lay.summarySize], lay, i)
+	}
+	return p, nil
+}
+
+// probeSegmentMulti is probeSegment over a redundant backend: each slot
+// is read with replica selection, accepting any copy that decodes as a
+// valid summary for this segment. A copy that rotted while a sibling
+// replica stayed intact is served around and healed here, so it never
+// quarantines the segment. A slot no copy can decode (empty, foreign,
+// torn, or rotted everywhere) falls back to a plain read so the
+// torn-vs-rot classifier sees the same evidence it would on one platter.
+func (l *LLD) probeSegmentMulti(mr disk.MultiReader, i int, sum []byte) (segProbe, error) {
+	lay := l.lay
+	var p segProbe
+	for slot := 0; slot < 2; slot++ {
+		buf := sum[slot*lay.summarySize : (slot+1)*lay.summarySize]
+		off := lay.sumOff(i, slot)
+		healed, err := mr.ReadAtVerified(buf, off, func(b []byte) bool {
+			_, e := decodeSummary(b, lay, i)
+			return e == nil
+		})
+		if healed > 0 {
+			atomic.AddInt64(&l.stats.DegradedReads, 1)
+			atomic.AddInt64(&l.stats.SelfHeals, int64(healed))
+		}
+		switch {
+		case err == nil:
+			probeSlot(&p, slot, buf, lay, i)
+		case errors.Is(err, disk.ErrNoValidReplica):
+			if err := l.dskRead(buf, off); err != nil {
+				if !errors.Is(err, disk.ErrUnreadable) {
+					return p, err
+				}
+				p.unreadable = true
+				continue
+			}
+			probeSlot(&p, slot, buf, lay, i)
+		case errors.Is(err, disk.ErrUnreadable):
+			p.unreadable = true
+		default:
+			return p, err
+		}
 	}
 	return p, nil
 }

@@ -2,7 +2,9 @@ package lld
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/disk"
 	"repro/internal/ld"
 )
 
@@ -449,4 +451,78 @@ func (l *LLD) readStored(bi *blockInfo, scratch *[]byte) ([]byte, error) {
 	}
 	rel := int64(bi.off) - first
 	return buf[rel : rel+int64(bi.stored)], nil
+}
+
+// storedSpan computes the sector-aligned disk span holding bi's stored
+// bytes: the absolute byte offset of the span, its length, and the
+// payload's offset within it.
+func (l *LLD) storedSpan(bi *blockInfo) (off int64, span int, rel int64) {
+	ss := int64(l.lay.sectorSize)
+	segBase := l.lay.segOff(int(bi.seg))
+	first := int64(bi.off) / ss * ss
+	end := (int64(bi.off) + int64(bi.stored) + ss - 1) / ss * ss
+	return segBase + first, int(end - first), int64(bi.off) - first
+}
+
+// readStoredVerified is readStored plus end-to-end verification against
+// the block's recorded checksum. The verified result reports that the
+// returned bytes are already known to match bi.crc: true for bytes
+// served from the in-memory open segment (which cannot rot in this
+// model) and for bytes a redundant backend proved by replica selection —
+// a copy failing the checksum is read around and healed rather than
+// surfaced. A false result means the caller must run its own check (the
+// single-platter path, or verification disabled). Callers hold l.mu;
+// shared suffices.
+func (l *LLD) readStoredVerified(bi *blockInfo, scratch *[]byte) (data []byte, verified bool, err error) {
+	if bi.stored == 0 {
+		return nil, true, nil
+	}
+	if l.cur != nil && int(bi.seg) == l.cur.id {
+		return l.cur.buf[bi.off : bi.off+bi.stored], true, nil
+	}
+	mr, multi := l.dsk.(disk.MultiReader)
+	if !multi || l.opts.DisableReadVerify {
+		data, err = l.readStored(bi, scratch)
+		return data, false, err
+	}
+	off, span, rel := l.storedSpan(bi)
+	if span > len(*scratch) {
+		*scratch = make([]byte, span)
+	}
+	buf := *scratch
+	crc := bi.crc
+	stored := int64(bi.stored)
+	healed, err := mr.ReadAtVerified(buf[:span], off, func(b []byte) bool {
+		return payloadCRC(b[rel:rel+stored]) == crc
+	})
+	if healed > 0 {
+		atomic.AddInt64(&l.stats.DegradedReads, 1)
+		atomic.AddInt64(&l.stats.SelfHeals, int64(healed))
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return buf[rel : rel+stored], true, nil
+}
+
+// verifyStoredAllCopies checks every replica's copy of bi's payload
+// against the recorded checksum, healing bad copies from a verified
+// one. Used by the scrubber so a pass over a healed mirror proves all
+// replicas clean, not just whichever copy a read would pick. Callers
+// hold l.mu exclusively (uses l.scratch).
+func (l *LLD) verifyStoredAllCopies(mr disk.MultiReader, bi *blockInfo) (data []byte, healed int, err error) {
+	off, span, rel := l.storedSpan(bi)
+	if span > len(l.scratch) {
+		l.scratch = make([]byte, span)
+	}
+	buf := l.scratch
+	crc := bi.crc
+	stored := int64(bi.stored)
+	healed, err = mr.VerifyReplicas(buf[:span], off, func(b []byte) bool {
+		return payloadCRC(b[rel:rel+stored]) == crc
+	})
+	if err != nil {
+		return nil, healed, err
+	}
+	return buf[rel : rel+stored], healed, nil
 }

@@ -1,0 +1,131 @@
+package mdisk
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+// benchDisks builds n fresh backends for a benchmark.
+func benchDisks(n int, capacity int64) []disk.Backend {
+	kids := make([]disk.Backend, n)
+	for i := range kids {
+		kids[i] = disk.New(disk.DefaultConfig(capacity))
+	}
+	return kids
+}
+
+// BenchmarkStripeRead measures sequential read throughput over stripes
+// of 1–8 legs. Wall time is goroutine scheduling noise here; the number
+// that matters is the virtual-clock MB/s metric, which models the legs'
+// platters transferring in parallel and should scale with the leg count.
+func BenchmarkStripeRead(b *testing.B) {
+	const childCap = 16 << 20
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("backends=%d", n), func(b *testing.B) {
+			s, err := NewStripe(benchDisks(n, childCap)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			chunk := int64(64 * s.SectorSize())
+			buf := make([]byte, chunk)
+			span := s.Capacity() / chunk * chunk
+			for off := int64(0); off < span; off += chunk {
+				if err := s.WriteAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(chunk)
+			b.ResetTimer()
+			start := s.Now()
+			off := int64(0)
+			for i := 0; i < b.N; i++ {
+				if err := s.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+				off += chunk
+				if off+chunk > span {
+					off = 0
+				}
+			}
+			virt := (s.Now() - start).Seconds()
+			if virt > 0 {
+				mb := float64(b.N) * float64(chunk) / (1 << 20)
+				b.ReportMetric(mb/virt, "virtMB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkStripeWrite is the write-side counterpart.
+func BenchmarkStripeWrite(b *testing.B) {
+	const childCap = 16 << 20
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("backends=%d", n), func(b *testing.B) {
+			s, err := NewStripe(benchDisks(n, childCap)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			chunk := int64(64 * s.SectorSize())
+			buf := make([]byte, chunk)
+			span := s.Capacity() / chunk * chunk
+			b.SetBytes(chunk)
+			b.ResetTimer()
+			start := s.Now()
+			off := int64(0)
+			for i := 0; i < b.N; i++ {
+				if err := s.WriteAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+				off += chunk
+				if off+chunk > span {
+					off = 0
+				}
+			}
+			virt := (s.Now() - start).Seconds()
+			if virt > 0 {
+				mb := float64(b.N) * float64(chunk) / (1 << 20)
+				b.ReportMetric(mb/virt, "virtMB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkMirrorWrite measures the mirror's write fan-out cost across
+// replica counts: media traffic multiplies by N but the virtual clock
+// should barely move, because the replicas' arms travel together.
+func BenchmarkMirrorWrite(b *testing.B) {
+	const childCap = 16 << 20
+	for _, n := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			m, err := NewMirror(benchDisks(n, childCap)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chunk := int64(64 * m.SectorSize())
+			buf := make([]byte, chunk)
+			span := m.Capacity() / chunk * chunk
+			b.SetBytes(chunk)
+			b.ResetTimer()
+			start := m.Now()
+			off := int64(0)
+			for i := 0; i < b.N; i++ {
+				if err := m.WriteAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+				off += chunk
+				if off+chunk > span {
+					off = 0
+				}
+			}
+			virt := (m.Now() - start).Seconds()
+			if virt > 0 {
+				mb := float64(b.N) * float64(chunk) / (1 << 20)
+				b.ReportMetric(mb/virt, "virtMB/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package mdisk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+)
+
+func lldTestOptions() lld.Options {
+	o := lld.DefaultOptions()
+	o.SegmentSize = 32 * 1024
+	o.SummarySize = 4 * 1024
+	o.MaxBlockSize = 4096
+	o.CompressBandwidth = 0
+	return o
+}
+
+func openLLDOver(t *testing.T, b disk.Backend) *lld.LLD {
+	t.Helper()
+	opts := lldTestOptions()
+	if err := lld.Format(b, opts); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	l, err := lld.Open(b, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l
+}
+
+// populate writes n blocks of deterministic contents and flushes, so
+// everything lives on the media (not just the in-memory open segment).
+func populate(t *testing.T, l *lld.LLD, n int) map[ld.BlockID][]byte {
+	t.Helper()
+	lid, err := l.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	want := make(map[ld.BlockID][]byte, n)
+	prev := ld.NilBlock
+	for i := 0; i < n; i++ {
+		b, err := l.NewBlock(lid, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4096)
+		rng.Read(data)
+		if err := l.Write(b, data); err != nil {
+			t.Fatal(err)
+		}
+		want[b] = data
+		prev = b
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestWholeReplicaCorruptionSweep is the headline contract: with one
+// mirror replica corrupted end to end, every live block reads back
+// byte-identical with zero caller-visible errors, the self-heal
+// counters move, and a subsequent scrub leaves the healed replica
+// provably clean.
+func TestWholeReplicaCorruptionSweep(t *testing.T) {
+	m, raw := newTestMirror(t, 2, 8<<20)
+	l := openLLDOver(t, m)
+	defer l.Shutdown(false)
+	want := populate(t, l, 120)
+
+	// Rot replica 1 wholesale: every byte of every sector, silently.
+	raw[1].CorruptRange(0, raw[1].Capacity(), 0xff)
+
+	buf := make([]byte, 4096)
+	for b, data := range want {
+		n, err := l.Read(b, buf)
+		if err != nil {
+			t.Fatalf("read block %d over degraded mirror: %v", b, err)
+		}
+		if !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d: wrong bytes from degraded mirror", b)
+		}
+	}
+	st := l.Stats()
+	if st.DegradedReads == 0 || st.SelfHeals == 0 {
+		t.Fatalf("lld stats after sweep = DegradedReads %d SelfHeals %d, want both nonzero",
+			st.DegradedReads, st.SelfHeals)
+	}
+	if ms := m.Stats(); ms.Heals == 0 || ms.VerifyRejects == 0 {
+		t.Fatalf("mirror stats after sweep = %+v, want nonzero Heals and VerifyRejects", ms)
+	}
+
+	// First scrub heals every copy the read sweep didn't happen to touch…
+	res, err := l.Scrub()
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if len(res.Corrupt) != 0 {
+		t.Fatalf("scrub found %d corrupt blocks on a mirrored store", len(res.Corrupt))
+	}
+	// …so a second scrub finds every replica of every block clean.
+	healsBefore := l.Stats().ScrubHeals
+	res, err = l.Scrub()
+	if err != nil {
+		t.Fatalf("second scrub: %v", err)
+	}
+	if len(res.Corrupt) != 0 {
+		t.Fatalf("second scrub: %d corrupt blocks", len(res.Corrupt))
+	}
+	if heals := l.Stats().ScrubHeals - healsBefore; heals != 0 {
+		t.Fatalf("second scrub still healed %d copies; replica not clean after first scrub", heals)
+	}
+
+	// And the blocks still read correctly, now without degradation.
+	degradedBefore := l.Stats().DegradedReads
+	for b, data := range want {
+		n, err := l.Read(b, buf)
+		if err != nil || !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d wrong after heal (err=%v)", b, err)
+		}
+	}
+	if d := l.Stats().DegradedReads - degradedBefore; d != 0 {
+		t.Fatalf("%d reads still degraded after full heal", d)
+	}
+}
+
+// TestLLDOverStripe: the Logical Disk runs unchanged over a striped
+// backend — format, write, flush, crash-reopen with the parallel
+// recovery sweep, and read back.
+func TestLLDOverStripe(t *testing.T) {
+	s := newTestStripe(t, 4, 2<<20)
+	l := openLLDOver(t, s)
+	want := populate(t, l, 60)
+	if err := l.Shutdown(false); err != nil { // unclean: force the sweep
+		t.Fatal(err)
+	}
+	l2, err := lld.Open(s, lldTestOptions())
+	if err != nil {
+		t.Fatalf("reopen over stripe: %v", err)
+	}
+	defer l2.Shutdown(false)
+	if rep := l2.RecoveryReport(); rep.Degraded() {
+		t.Fatalf("clean stripe image recovered degraded: %+v", rep)
+	}
+	buf := make([]byte, 4096)
+	for b, data := range want {
+		n, err := l2.Read(b, buf)
+		if err != nil || !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d wrong after stripe reopen (err=%v)", b, err)
+		}
+	}
+}
+
+// TestMirrorRecoveryHealsRottedSummary: mid-log rot confined to one
+// replica must not quarantine anything — the recovery probe selects the
+// intact copy, heals the rotted one, and every block stays readable.
+func TestMirrorRecoveryHealsRottedSummary(t *testing.T) {
+	m, raw := newTestMirror(t, 2, 8<<20)
+	l := openLLDOver(t, m)
+	want := populate(t, l, 80)
+	if err := l.Shutdown(false); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a broad swath of replica 0 — summaries included.
+	raw[0].CorruptRange(0, raw[0].Capacity()/2, 0x33)
+
+	l2, err := lld.Open(m, lldTestOptions())
+	if err != nil {
+		t.Fatalf("reopen degraded mirror: %v", err)
+	}
+	defer l2.Shutdown(false)
+	rep := l2.RecoveryReport()
+	if rep.Degraded() {
+		t.Fatalf("one-replica rot quarantined segments: %+v", rep)
+	}
+	buf := make([]byte, 4096)
+	for b, data := range want {
+		n, err := l2.Read(b, buf)
+		if err != nil || !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d wrong after degraded reopen (err=%v)", b, err)
+		}
+	}
+}
+
+// TestMirrorRebuildUnderLLD: run a full LLD workload, lose a replica,
+// rebuild online, then lose the *other* replica — the store must keep
+// answering every read from the rebuilt copy alone.
+func TestMirrorRebuildUnderLLD(t *testing.T) {
+	m, _ := newTestMirror(t, 2, 8<<20)
+	l := openLLDOver(t, m)
+	defer l.Shutdown(false)
+	want := populate(t, l, 60)
+
+	m.FailReplica(1)
+	// Degraded-mode writes the rebuild must carry over.
+	for b := range want {
+		data := bytes.Repeat([]byte{0xdd}, 2048)
+		if err := l.Write(b, data); err != nil {
+			t.Fatal(err)
+		}
+		want[b] = data
+		break
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := m.AttachBlank(1, disk.New(disk.DefaultConfig(8<<20))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Rebuild(1, 4, nil)
+	if err != nil {
+		t.Fatalf("online rebuild: %v", err)
+	}
+	if rep.Chunks == 0 {
+		t.Fatalf("rebuild copied nothing: %+v", rep)
+	}
+	m.FailReplica(0)
+	buf := make([]byte, 4096)
+	for b, data := range want {
+		n, err := l.Read(b, buf)
+		if err != nil || !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d wrong from rebuilt replica (err=%v)", b, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package mdisk
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// Online rebuild. A degraded mirror keeps running on its surviving
+// replicas; AttachBlank hot-swaps a blank backend into the failed slot
+// and Rebuild re-silvers it chunk by chunk while the mirror stays
+// online, mirroring the background cleaner/scrubber pattern in lld: the
+// exclusive lock is held for at most a few chunks at a time, then
+// released and reacquired, so concurrent traffic sees bounded pauses.
+// Writes that land during the rebuild go to the rebuilding replica too
+// (write-all includes it), so a chunk is current whether it was copied
+// before or after the overlapping write; the replica serves no reads
+// until the copy completes.
+
+// RebuildReport summarizes one completed rebuild.
+type RebuildReport struct {
+	Replica int           // slot that was re-silvered
+	Chunks  int           // chunks copied
+	Bytes   int64         // bytes copied
+	Skipped int           // never-written chunks skipped
+	Steps   int           // exclusive-lock acquisitions (bounded pauses)
+	Elapsed time.Duration // virtual-clock time the copy consumed
+}
+
+// AttachBlank replaces replica slot i with backend b and marks it
+// rebuilding. The slot must currently be failed (detach-then-replace);
+// b must match the mirror's sector size and hold at least its capacity.
+func (m *Mirror) AttachBlank(i int, b disk.Backend) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.kids) {
+		return fmt.Errorf("mdisk: no replica slot %d", i)
+	}
+	if m.kids[i].st() != ReplicaFailed {
+		return fmt.Errorf("mdisk: replica %d is %s, not failed", i, m.kids[i].st())
+	}
+	if b.SectorSize() != m.ss {
+		return fmt.Errorf("mdisk: replacement sector size %d != mirror sector size %d", b.SectorSize(), m.ss)
+	}
+	if b.Capacity() < m.capacity {
+		return fmt.Errorf("mdisk: replacement capacity %d < mirror capacity %d", b.Capacity(), m.capacity)
+	}
+	nr := &mirrorReplica{b: b}
+	nr.state.Store(int32(ReplicaRebuilding))
+	m.kids[i] = nr
+	return nil
+}
+
+// Rebuild copies every chunk that has ever been written from a live
+// replica onto rebuilding replica i, stepChunks chunks per exclusive
+// lock hold (default 8 when <= 0). progress, when non-nil, is called
+// between lock steps (outside the lock) with chunks examined so far and
+// the total. On success the replica is promoted to live.
+func (m *Mirror) Rebuild(i int, stepChunks int, progress func(done, total int)) (RebuildReport, error) {
+	if stepChunks <= 0 {
+		stepChunks = 8
+	}
+	rep := RebuildReport{Replica: i}
+	total := m.chunks()
+	start := m.Now()
+
+	m.mu.Lock()
+	if i < 0 || i >= len(m.kids) || m.kids[i].st() != ReplicaRebuilding {
+		m.mu.Unlock()
+		return rep, ErrNotRebuilding
+	}
+	target := m.kids[i]
+	buf := make([]byte, m.chunk)
+	for c := int64(0); c < int64(total); {
+		stop := c + int64(stepChunks)
+		for ; c < stop && c < int64(total); c++ {
+			if !m.isWritten(c) {
+				rep.Skipped++
+				continue
+			}
+			off := c * m.chunk
+			size := m.chunk
+			if off+size > m.capacity {
+				size = m.capacity - off
+			}
+			if err := m.readLiveLocked(buf[:size], off); err != nil {
+				m.mu.Unlock()
+				return rep, fmt.Errorf("mdisk: rebuild source read: %w", err)
+			}
+			if err := target.b.WriteAt(buf[:size], off); err != nil {
+				m.fail(target)
+				m.mu.Unlock()
+				return rep, fmt.Errorf("mdisk: rebuild target write: %w", err)
+			}
+			rep.Chunks++
+			rep.Bytes += size
+		}
+		rep.Steps++
+		if c >= int64(total) {
+			break
+		}
+		if target.st() != ReplicaRebuilding {
+			m.mu.Unlock()
+			return rep, ErrNotRebuilding // failed or detached mid-rebuild
+		}
+		// Bounded pause: let queued traffic in before the next batch.
+		m.mu.Unlock()
+		if progress != nil {
+			progress(int(c), total)
+		}
+		runtime.Gosched()
+		m.mu.Lock()
+	}
+	if !target.state.CompareAndSwap(int32(ReplicaRebuilding), int32(ReplicaLive)) {
+		m.mu.Unlock()
+		return rep, ErrNotRebuilding
+	}
+	atomic.AddInt64(&m.stats.RebuildsDone, 1)
+	m.mu.Unlock()
+	rep.Elapsed = m.Now() - start
+	if progress != nil {
+		progress(total, total)
+	}
+	return rep, nil
+}
+
+// readLiveLocked reads from the first live replica that answers,
+// without rotation or healing (the rebuild wants any intact copy and
+// runs under the exclusive lock). Callers hold m.mu.
+func (m *Mirror) readLiveLocked(p []byte, off int64) error {
+	var firstErr error
+	for _, r := range m.kids {
+		if r.st() != ReplicaLive {
+			continue
+		}
+		if err := r.b.ReadAt(p, off); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ErrMirrorDown
+}

@@ -1,0 +1,162 @@
+package mdisk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+// TestMirrorRebuild: fail a replica, keep writing, attach a blank, and
+// rebuild; the rebuilt replica must then carry the full image, proven
+// by failing the original and reading everything back through the
+// replacement alone.
+func TestMirrorRebuild(t *testing.T) {
+	m, _ := newTestMirror(t, 2, 1<<20)
+	ss := int64(m.SectorSize())
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]byte, m.Capacity())
+	writeRand := func(n int) {
+		for i := 0; i < n; i++ {
+			off := rng.Int63n(m.Capacity()/ss-8) * ss
+			buf := make([]byte, 8*ss)
+			rng.Read(buf)
+			copy(ref[off:], buf)
+			if err := m.WriteAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	writeRand(40)
+	m.FailReplica(1)
+	writeRand(40) // degraded writes the rebuild must pick up
+
+	if _, err := m.Rebuild(1, 0, nil); !errors.Is(err, ErrNotRebuilding) {
+		t.Fatalf("rebuild of failed (unattached) replica: %v", err)
+	}
+	blank := disk.New(disk.DefaultConfig(1 << 20))
+	if err := m.AttachBlank(1, blank); err != nil {
+		t.Fatalf("AttachBlank: %v", err)
+	}
+	if m.State(1) != ReplicaRebuilding {
+		t.Fatalf("state after attach = %v", m.State(1))
+	}
+	writeRand(10) // writes during the rebuild window also reach the target
+
+	calls := 0
+	rep, err := m.Rebuild(1, 4, func(done, total int) { calls++ })
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if m.State(1) != ReplicaLive {
+		t.Fatalf("state after rebuild = %v", m.State(1))
+	}
+	if rep.Chunks == 0 || rep.Bytes == 0 || rep.Steps == 0 || calls == 0 {
+		t.Fatalf("report = %+v (progress calls %d): want nonzero work", rep, calls)
+	}
+	if rep.Chunks+rep.Skipped != m.chunks() {
+		t.Fatalf("report covers %d chunks, mirror has %d", rep.Chunks+rep.Skipped, m.chunks())
+	}
+
+	// The replacement alone must now serve the whole image.
+	m.FailReplica(0)
+	chk := make([]byte, 8*ss)
+	for off := int64(0); off+int64(len(chk)) <= m.Capacity(); off += int64(len(chk)) * 4 {
+		if err := m.ReadAt(chk, off); err != nil {
+			t.Fatalf("read from rebuilt replica at %d: %v", off, err)
+		}
+		if !bytes.Equal(chk, ref[off:off+int64(len(chk))]) {
+			t.Fatalf("rebuilt replica differs at %d", off)
+		}
+	}
+	if st := m.Stats(); st.RebuildsDone != 1 {
+		t.Fatalf("RebuildsDone = %d", st.RebuildsDone)
+	}
+}
+
+// TestMirrorRebuildConcurrentWrites runs the rebuild while writers are
+// hammering the mirror; afterwards the rebuilt replica must agree with
+// every write, including those that raced the copy.
+func TestMirrorRebuildConcurrentWrites(t *testing.T) {
+	m, _ := newTestMirror(t, 2, 2<<20)
+	ss := int64(m.SectorSize())
+	const workers = 4
+	region := m.Capacity() / workers / int64(ss) * int64(ss)
+
+	seed := make([]byte, 4*ss)
+	for off := int64(0); off+int64(len(seed)) <= m.Capacity(); off += region {
+		if err := m.WriteAt(seed, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.FailReplica(1)
+	if err := m.AttachBlank(1, disk.New(disk.DefaultConfig(2<<20))); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	final := make([][]byte, workers)
+	offs := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			buf := make([]byte, 4*ss)
+			off := int64(w) * region
+			for i := 0; i < 30; i++ {
+				rng.Read(buf)
+				if err := m.WriteAt(buf, off); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+			final[w] = append([]byte(nil), buf...)
+			offs[w] = off
+		}(w)
+	}
+	rep, err := m.Rebuild(1, 2, nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if rep.Steps < 2 {
+		t.Fatalf("rebuild took %d steps; bounded stepping not exercised", rep.Steps)
+	}
+
+	m.FailReplica(0)
+	chk := make([]byte, 4*ss)
+	for w := 0; w < workers; w++ {
+		if final[w] == nil {
+			continue
+		}
+		if err := m.ReadAt(chk, offs[w]); err != nil {
+			t.Fatalf("post-rebuild read: %v", err)
+		}
+		if !bytes.Equal(chk, final[w]) {
+			t.Fatalf("worker %d region: rebuilt replica missed a concurrent write", w)
+		}
+	}
+}
+
+// TestAttachBlankValidation covers the slot and geometry checks.
+func TestAttachBlankValidation(t *testing.T) {
+	m, _ := newTestMirror(t, 2, 1<<20)
+	blank := disk.New(disk.DefaultConfig(1 << 20))
+	if err := m.AttachBlank(0, blank); err == nil {
+		t.Fatal("attached over a live replica")
+	}
+	if err := m.AttachBlank(5, blank); err == nil {
+		t.Fatal("attached to a nonexistent slot")
+	}
+	m.FailReplica(0)
+	if err := m.AttachBlank(0, disk.New(disk.DefaultConfig(1<<18))); err == nil {
+		t.Fatal("attached an undersized replacement")
+	}
+	if err := m.AttachBlank(0, blank); err != nil {
+		t.Fatalf("valid attach refused: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package mdisk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func testDisks(t *testing.T, n int, capacity int64) []disk.Backend {
+	t.Helper()
+	kids := make([]disk.Backend, n)
+	for i := range kids {
+		kids[i] = disk.New(disk.DefaultConfig(capacity))
+	}
+	return kids
+}
+
+func newTestStripe(t *testing.T, n int, capacity int64) *Stripe {
+	t.Helper()
+	s, err := NewStripe(testDisks(t, n, capacity)...)
+	if err != nil {
+		t.Fatalf("NewStripe: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestStripeRoundTrip holds the stripe against a flat reference buffer
+// under randomized sector-aligned writes and reads.
+func TestStripeRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		s := newTestStripe(t, n, 1<<20)
+		ss := int64(s.SectorSize())
+		ref := make([]byte, s.Capacity())
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			sectors := int64(1 + rng.Intn(16))
+			off := rng.Int63n(s.Capacity()/ss-sectors+1) * ss
+			buf := make([]byte, sectors*ss)
+			if rng.Intn(2) == 0 {
+				rng.Read(buf)
+				copy(ref[off:], buf)
+				var err error
+				if rng.Intn(4) == 0 {
+					err = s.WriteAtNVRAM(buf, off)
+				} else {
+					err = s.WriteAt(buf, off)
+				}
+				if err != nil {
+					t.Fatalf("n=%d write(%d,%d): %v", n, off, len(buf), err)
+				}
+			} else {
+				if err := s.ReadAt(buf, off); err != nil {
+					t.Fatalf("n=%d read(%d,%d): %v", n, off, len(buf), err)
+				}
+				if !bytes.Equal(buf, ref[off:off+int64(len(buf))]) {
+					t.Fatalf("n=%d read(%d,%d): bytes differ from reference", n, off, len(buf))
+				}
+			}
+		}
+	}
+}
+
+// TestStripeGeometry checks capacity math and the access contract.
+func TestStripeGeometry(t *testing.T) {
+	kids := testDisks(t, 3, 1<<20)
+	s, err := NewStripe(kids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ss := int64(s.SectorSize())
+	want := kids[0].Capacity() / ss * ss * 3
+	if s.Capacity() != want {
+		t.Fatalf("capacity = %d, want %d", s.Capacity(), want)
+	}
+	if s.Backends() != 3 {
+		t.Fatalf("Backends() = %d", s.Backends())
+	}
+	buf := make([]byte, ss)
+	if err := s.ReadAt(buf, 1); !errors.Is(err, disk.ErrUnaligned) {
+		t.Fatalf("unaligned read: %v", err)
+	}
+	if err := s.ReadAt(buf, s.Capacity()); !errors.Is(err, disk.ErrOutOfRange) {
+		t.Fatalf("out-of-range read: %v", err)
+	}
+	if err := s.WriteAt(buf[:1], 0); !errors.Is(err, disk.ErrUnaligned) {
+		t.Fatalf("short write: %v", err)
+	}
+}
+
+// TestStripeDistributesSectors proves the round-robin mapping: each leg
+// of a full-stripe write receives exactly 1/N of the sectors, and the
+// per-backend contents land where logical sector s -> (s mod N, s div N)
+// says they should.
+func TestStripeDistributesSectors(t *testing.T) {
+	const n = 4
+	kids := testDisks(t, n, 1<<20)
+	s, err := NewStripe(kids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ss := s.SectorSize()
+	const sectors = 64
+	buf := make([]byte, sectors*ss)
+	for sec := 0; sec < sectors; sec++ {
+		for b := 0; b < ss; b++ {
+			buf[sec*ss+b] = byte(sec)
+		}
+	}
+	if err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, ss)
+	for sec := 0; sec < sectors; sec++ {
+		kid := kids[sec%n]
+		if err := kid.ReadAt(one, int64(sec/n)*int64(ss)); err != nil {
+			t.Fatalf("child read: %v", err)
+		}
+		if one[0] != byte(sec) {
+			t.Fatalf("sector %d landed wrong: child %d phys %d holds %d", sec, sec%n, sec/n, one[0])
+		}
+	}
+	st := s.Stats()
+	if st.LegOps != n {
+		t.Fatalf("full-stripe write issued %d legs, want %d", st.LegOps, n)
+	}
+}
+
+// TestStripeConcurrent hammers the stripe from many goroutines to give
+// the race detector something to chew on (distinct regions per worker,
+// so contents stay checkable).
+func TestStripeConcurrent(t *testing.T) {
+	const workers = 8
+	s := newTestStripe(t, 4, 4<<20)
+	ss := int64(s.SectorSize())
+	region := s.Capacity() / workers / ss * ss
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int64(w) * region
+			buf := make([]byte, 8*ss)
+			chk := make([]byte, 8*ss)
+			for i := 0; i < 50; i++ {
+				off := base + rng.Int63n(region/ss-8)*ss
+				rng.Read(buf)
+				if err := s.WriteAt(buf, off); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := s.ReadAt(chk, off); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(buf, chk) {
+					errs[w] = errors.New("read-after-write mismatch")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestStripeChildError propagates a leg failure to the caller.
+func TestStripeChildError(t *testing.T) {
+	kids := testDisks(t, 2, 1<<20)
+	s, err := NewStripe(kids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ss := s.SectorSize()
+	buf := make([]byte, 4*ss)
+	if err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Logical sector 1 lives on child 1 phys sector 0.
+	kids[1].(*disk.Disk).InjectUnreadable(0, 1)
+	if err := s.ReadAt(buf, 0); !errors.Is(err, disk.ErrUnreadable) {
+		t.Fatalf("read over bad leg: %v, want ErrUnreadable", err)
+	}
+}

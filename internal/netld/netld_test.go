@@ -6,7 +6,9 @@
 package netld_test
 
 import (
+	"bytes"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -321,5 +323,93 @@ func TestTwoClientsShareOneServer(t *testing.T) {
 	}
 	if got := readStr(t, a, blk); got != "granted" {
 		t.Fatalf("A sees %q", got)
+	}
+}
+
+// TestDegradedServerRefusesCorruptBlocksOnly: a server whose backing
+// media silently rotted under part of the log must answer reads of the
+// damaged blocks with CodeCorrupt (ld.ErrCorrupt on the client side)
+// while every untouched block keeps reading back byte-identical — the
+// service degrades block by block, it does not go down or serve garbage.
+func TestDegradedServerRefusesCorruptBlocksOnly(t *testing.T) {
+	f := newFixture(t)
+	dial, _ := f.pipeDial()
+	c, err := client.New(dial, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lid, err := c.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const nBlocks = 1000
+	want := make(map[ld.BlockID][]byte, nBlocks)
+	var order []ld.BlockID
+	prev := ld.NilBlock
+	for i := 0; i < nBlocks; i++ {
+		b, err := c.NewBlock(lid, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 4096)
+		rng.Read(data)
+		if err := c.Write(b, data); err != nil {
+			t.Fatal(err)
+		}
+		want[b] = data
+		order = append(order, b)
+		prev = b
+		if i%64 == 63 {
+			if err := c.Flush(ld.FailPower); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot a quarter-megabyte window in the middle of the media, well
+	// inside the sealed part of the log.
+	f.dsk.CorruptRange(f.dsk.Capacity()/2, 256<<10, 0x5a)
+
+	// Ground truth from the serving LLD itself: exactly which blocks the
+	// window damaged.
+	res, err := f.srv.Disk().(*lld.LLD).Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corrupt) == 0 {
+		t.Fatal("corruption window hit no live payloads; workload too small")
+	}
+	corrupt := make(map[ld.BlockID]bool, len(res.Corrupt))
+	for _, b := range res.Corrupt {
+		corrupt[b] = true
+	}
+
+	buf := make([]byte, 4096)
+	sawCorrupt, sawClean := 0, 0
+	for _, b := range order {
+		n, err := c.Read(b, buf)
+		if corrupt[b] {
+			if !errors.Is(err, ld.ErrCorrupt) {
+				t.Fatalf("damaged block %d: err = %v, want ld.ErrCorrupt over the wire", b, err)
+			}
+			sawCorrupt++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("clean block %d: %v", b, err)
+		}
+		if !bytes.Equal(buf[:n], want[b]) {
+			t.Fatalf("clean block %d: wrong bytes", b)
+		}
+		sawClean++
+	}
+	if sawCorrupt == 0 || sawClean == 0 {
+		t.Fatalf("degenerate split: %d corrupt, %d clean", sawCorrupt, sawClean)
 	}
 }
