@@ -40,6 +40,14 @@
 //
 //	ldbench -scrubbench
 //
+// The shard benchmark measures all-write throughput across the block-map
+// stripe count (lld.Options.MapShards) at several client counts, showing
+// how far independent writes scale once the map and free-id pools stop
+// sharing one lock:
+//
+//	ldbench -shardbench
+//	ldbench -shardbench -shard-ops 500   # smaller cells
+//
 // The multi-disk suite measures sequential throughput on the virtual
 // clock over striped and mirrored backends (internal/mdisk): stripe
 // read/write scaling across leg counts, and mirror write fan-out and
@@ -255,6 +263,46 @@ func runConcurrent(open ldmicro.OpenFunc, label string, clients []int, ops int) 
 	return nil
 }
 
+// runShardBench measures all-write throughput across the MapShards ×
+// clients matrix, each cell on a fresh in-process LLD. Writes go to a
+// Compress-hinted working set, so every write carries real compression and
+// checksum CPU — the work the striped write path runs outside the instance
+// lock, and therefore the component that scales with the stripe count.
+func runShardBench(ops int) error {
+	newDisk := func(shards int) (ld.Disk, func() error, error) {
+		d := disk.New(disk.DefaultConfig(64 << 20))
+		o := lld.DefaultOptions()
+		o.CompressBandwidth = 0 // wall-time benchmark; no virtual CPU charge
+		o.MapShards = shards
+		if err := lld.Format(d, o); err != nil {
+			return nil, nil, err
+		}
+		l, err := lld.Open(d, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, func() error { return l.Shutdown(true) }, nil
+	}
+	fmt.Printf("# LD write scaling vs map shards — all-write, compress-hinted, wall time, %d ops/client\n", ops)
+	results, err := ldmicro.RunShardSweep(newDisk, ldmicro.ShardSweepConfig{
+		Base: ldmicro.ConcurrentConfig{OpsPerClient: ops},
+	})
+	if err != nil {
+		return err
+	}
+	base := make(map[int]float64) // client count -> ops/s at one stripe
+	for _, r := range results {
+		line := r.String()
+		if r.Shards == 1 {
+			base[r.Clients] = r.OpsPerSec()
+		} else if b := base[r.Clients]; b > 0 {
+			line += fmt.Sprintf("  (%.2fx vs 1 shard)", r.OpsPerSec()/b)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
 func main() {
 	scale := flag.Int("scale", 10, "divide the paper's workload sizes by this factor (1 = full size)")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -268,6 +316,8 @@ func main() {
 	cleanOps := flag.Int("clean-ops", 500, "rewrites per client for -cleanbench")
 	scrubbench := flag.Bool("scrubbench", false, "run the with-vs-without background scrubber writer-stall comparison")
 	scrubOps := flag.Int("scrub-ops", 500, "rewrites per client for -scrubbench")
+	shardbench := flag.Bool("shardbench", false, "run the write-scaling sweep across block-map lock stripes (1/4/16 clients x 1/4/8 shards)")
+	shardOps := flag.Int("shard-ops", 2000, "writes per client for -shardbench")
 	stripeBench := flag.Bool("stripe", false, "run the striped-backend throughput sweep (virtual clock, 1/2/4/8 legs)")
 	mirrorBench := flag.Bool("mirror", false, "run the mirrored-backend overhead sweep (virtual clock, 1/2/3 replicas)")
 	mdiskBytes := flag.Int64("mdisk-bytes", 8<<20, "bytes moved per phase in the -stripe/-mirror sweeps")
@@ -277,6 +327,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -shardbench [-shard-ops N]   (write scaling vs map-shard count)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -stripe | -mirror [-mdisk-bytes N]   (multi-disk throughput, virtual clock)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
@@ -302,6 +353,14 @@ func main() {
 
 	if *scrubbench {
 		if err := runScrubBench(4, *scrubOps); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *shardbench {
+		if err := runShardBench(*shardOps); err != nil {
 			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -76,6 +76,8 @@ func main() {
 	segment := flag.String("segment", "512K", "LLD segment size for a fresh format")
 	recoveryWorkers := flag.Int("recovery-workers", 0,
 		"goroutines for the one-sweep startup recovery (0 = min(GOMAXPROCS, 8), 1 = sequential)")
+	mapShards := flag.Int("map-shards", 0,
+		"lock stripes over the block map and free-id pools (0 = min(GOMAXPROCS, 64), 1 = single lock)")
 	bgClean := flag.Bool("bg-clean", false,
 		"run segment cleaning in a background goroutine with bounded per-step lock holds")
 	cleanStep := flag.Int("clean-step", 1,
@@ -101,6 +103,9 @@ backing LLD under a shared lock; mutating commands are exclusive. There is
 no worker-pool knob for request handling — concurrency equals the number
 of connected clients with in-flight requests. -recovery-workers controls
 only the parallel summary sweep during startup recovery of a crashed image.
+-map-shards stripes the block-number map and free-id pools so mutating
+commands on blocks in different stripes run their compression and
+checksumming concurrently; 1 restores the single-lock write path.
 
 With -bg-clean, segment cleaning runs in a goroutine owned by the LLD
 instead of inline on the write path: a write that trips the cleaning
@@ -145,6 +150,7 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 	opts := lld.DefaultOptions()
 	opts.SegmentSize = int(segSize)
 	opts.RecoveryWorkers = *recoveryWorkers
+	opts.MapShards = *mapShards
 	opts.BackgroundClean = *bgClean
 	opts.CleanStepSegments = *cleanStep
 	opts.BackgroundScrub = *bgScrub

@@ -1,0 +1,76 @@
+package ldmicro
+
+import (
+	"fmt"
+
+	"repro/internal/ld"
+)
+
+// This file measures write scaling across block-map lock stripes
+// (lld.Options.MapShards). The workload is all-writes against a
+// Compress-hinted working set: compression and checksumming are the
+// CPU-heavy part of a write that the striped write path runs outside the
+// instance lock, so aggregate throughput should rise with the client count
+// once enough stripes exist — and stay flat at one stripe, which
+// serializes every write exactly like the unsharded instance.
+
+// NewShardedFunc returns a fresh disk-under-test configured with the given
+// stripe count, plus a close function. Each sweep cell gets its own
+// instance so cells do not share cleaner state or segment history.
+type NewShardedFunc func(shards int) (ld.Disk, func() error, error)
+
+// ShardSweepConfig sizes the write-scaling sweep.
+type ShardSweepConfig struct {
+	// Clients lists the worker counts to sweep. Default {1, 4, 16}.
+	Clients []int
+	// Shards lists the stripe counts to sweep. Default {1, 4, 8}.
+	Shards []int
+	// Base sizes each cell's workload (Blocks, BlockSize, OpsPerClient,
+	// Seed); its Clients, ReadFraction, and Compress are overridden.
+	Base ConcurrentConfig
+}
+
+func (c ShardSweepConfig) withDefaults() ShardSweepConfig {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 16}
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 4, 8}
+	}
+	return c
+}
+
+// ShardSweepResult is one (stripe count, client count) cell.
+type ShardSweepResult struct {
+	Shards int
+	ConcurrentResult
+}
+
+// RunShardSweep measures all-write throughput for every stripe count ×
+// client count cell. Write verification comes free from RunConcurrent's
+// self-identifying payloads.
+func RunShardSweep(newDisk NewShardedFunc, cfg ShardSweepConfig) ([]ShardSweepResult, error) {
+	cfg = cfg.withDefaults()
+	var results []ShardSweepResult
+	for _, s := range cfg.Shards {
+		for _, n := range cfg.Clients {
+			d, closeDisk, err := newDisk(s)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d: %w", s, err)
+			}
+			base := cfg.Base
+			base.Clients = n
+			base.ReadFraction = 0
+			base.Compress = true
+			r, runErr := RunConcurrent(fmt.Sprintf("write-all/%d-shard", s), SingleHandle(d), base)
+			if err := closeDisk(); err != nil && runErr == nil {
+				runErr = err
+			}
+			if runErr != nil {
+				return nil, fmt.Errorf("shards=%d clients=%d: %w", s, n, runErr)
+			}
+			results = append(results, ShardSweepResult{Shards: s, ConcurrentResult: r})
+		}
+	}
+	return results, nil
+}

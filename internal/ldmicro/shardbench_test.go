@@ -1,0 +1,79 @@
+package ldmicro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/ldmicro"
+	"repro/internal/lld"
+)
+
+// newShardedFunc builds fresh in-process LLDs at the requested stripe
+// count for the write-scaling sweep.
+func newShardedFunc(tb testing.TB, capacity int64) ldmicro.NewShardedFunc {
+	tb.Helper()
+	return func(shards int) (ld.Disk, func() error, error) {
+		d := disk.New(disk.DefaultConfig(capacity))
+		o := lld.DefaultOptions()
+		o.CompressBandwidth = 0 // wall-time measurements; no virtual CPU charge
+		o.MapShards = shards
+		if err := lld.Format(d, o); err != nil {
+			return nil, nil, err
+		}
+		l, err := lld.Open(d, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, func() error { return l.Shutdown(true) }, nil
+	}
+}
+
+// TestShardSweepSmoke runs a tiny sweep end to end: every cell must
+// complete with verified payloads, and the one-stripe cells must exist for
+// the scaling comparison.
+func TestShardSweepSmoke(t *testing.T) {
+	results, err := ldmicro.RunShardSweep(newShardedFunc(t, 16<<20), ldmicro.ShardSweepConfig{
+		Clients: []int{1, 4},
+		Shards:  []int{1, 4},
+		Base: ldmicro.ConcurrentConfig{
+			Blocks:       64,
+			OpsPerClient: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Writes == 0 || r.Reads != 0 {
+			t.Errorf("shards=%d clients=%d: %d reads/%d writes, want all-write", r.Shards, r.Clients, r.Reads, r.Writes)
+		}
+	}
+}
+
+// BenchmarkWriteScalingShards reports aggregate all-write throughput at
+// 16 clients for 1, 4, and 8 stripes; ldbench -shardbench prints the full
+// client × stripe matrix.
+func BenchmarkWriteScalingShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			newDisk := newShardedFunc(b, 64<<20)
+			for i := 0; i < b.N; i++ {
+				results, err := ldmicro.RunShardSweep(newDisk, ldmicro.ShardSweepConfig{
+					Clients: []int{16},
+					Shards:  []int{shards},
+					Base:    ldmicro.ConcurrentConfig{OpsPerClient: 1000},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := results[0]
+				b.ReportMetric(r.OpsPerSec(), "ops/s")
+			}
+		})
+	}
+}

@@ -164,6 +164,10 @@ func (l *LLD) runBGPass(bg *bgCleaner) {
 // cleaning pass's own stack, or mid-ARU it returns immediately so the
 // caller's openNewSegment surfaces ErrNoSpace exactly as before (the
 // bootstrap skip path depends on seeing that error). Callers hold l.mu.
+// A Write caller also holds its block's stripe lock across this wait —
+// safe, because the background cleaner acquires only mu, never a stripe
+// lock, so the stalled writer can never block the path that frees its
+// segment (see shard.go).
 func (l *LLD) awaitFreeSegment() error {
 	if l.cleaningStep || (l.cleaning && !l.cleaningBG) {
 		// A cleaning pass's own stack (background step or inline pass):

@@ -275,17 +275,6 @@ func (l *LLD) decodeCheckpoint(payload []byte) error {
 		return r.err
 	}
 	// Rebuild the derived pools.
-	l.freeIDs = l.freeIDs[:0]
-	for i := ld.BlockID(1); i < l.nextFresh; i++ {
-		if !l.blocks[i].allocated() {
-			l.freeIDs = append(l.freeIDs, i)
-		}
-	}
-	l.freeLists = l.freeLists[:0]
-	for lid := ld.ListID(1); lid < l.nextList; lid++ {
-		if l.lists[lid] == nil {
-			l.freeLists = append(l.freeLists, lid)
-		}
-	}
+	l.rebuildFreePools()
 	return nil
 }

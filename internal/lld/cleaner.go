@@ -479,6 +479,11 @@ func (l *LLD) consolidate() error {
 // CompressOnClean, raw blocks of Compress-hinted lists are compressed here
 // — they are cold by definition, which is the §3.3 alternative strategy.
 // Callers hold l.mu.
+// moveBlock relocates one live block out of the victim segment. It runs
+// under mu exclusive and takes no block-map stripe locks: relocation
+// changes only the block's physical placement, and an in-flight write
+// window on the same block re-reads placement under mu at its apply
+// phase, so it observes the move (see shard.go for the discipline).
 func (l *LLD) moveBlock(bid ld.BlockID, victimBuf []byte) error {
 	bi := &l.blocks[bid]
 	data := victimBuf[bi.off : bi.off+bi.stored]

@@ -1,0 +1,35 @@
+package lld
+
+// freePool is a LIFO pool of recyclable identifiers (block numbers or list
+// ids). The allocation paths, the recovery sweep, and the checkpoint loader
+// all used to hand-roll the same push/pop/rebuild slices; this type is the
+// single copy. A pool has no lock of its own: every pool lives inside state
+// that is already guarded (the instance lock, plus the owning shard's
+// stripe lock for block-id pools).
+type freePool[T ~uint32] struct {
+	ids []T
+}
+
+// push returns id to the pool.
+func (p *freePool[T]) push(id T) { p.ids = append(p.ids, id) }
+
+// pop removes and returns the most recently pushed id, LIFO order.
+func (p *freePool[T]) pop() (T, bool) {
+	n := len(p.ids)
+	if n == 0 {
+		return 0, false
+	}
+	id := p.ids[n-1]
+	p.ids = p.ids[:n-1]
+	return id, true
+}
+
+// reset empties the pool, keeping its storage.
+func (p *freePool[T]) reset() { p.ids = p.ids[:0] }
+
+// size returns the number of pooled ids.
+func (p *freePool[T]) size() int { return len(p.ids) }
+
+// all exposes the pooled ids oldest-first; callers must not mutate or
+// retain the slice across pool operations.
+func (p *freePool[T]) all() []T { return p.ids }

@@ -86,15 +86,39 @@ func (l *LLD) CheckInvariants() []string {
 		}
 	}
 
-	// Free pools: no allocated id in the free pool, no duplicates.
+	// Free pools: no allocated id pooled, no duplicates across shards,
+	// every pooled id resident in the shard that owns it (id mod shard
+	// count), and the shards together covering every unallocated id below
+	// the fresh watermark — the partition must be disjoint and exhaustive.
 	freeSeen := make(map[ld.BlockID]bool)
-	for _, b := range l.freeIDs {
-		if freeSeen[b] {
-			bad("block id %d in free pool twice", b)
+	nsh := uint32(len(l.shards))
+	for s := range l.shards {
+		for _, b := range l.shards[s].free.all() {
+			if freeSeen[b] {
+				bad("block id %d in free pool twice", b)
+			}
+			freeSeen[b] = true
+			if uint32(b)%nsh != uint32(s) {
+				bad("block id %d pooled in shard %d but owned by shard %d", b, s, uint32(b)%nsh)
+			}
+			if int(b) < len(l.blocks) && l.blocks[b].allocated() {
+				bad("allocated block %d in free pool", b)
+			}
 		}
-		freeSeen[b] = true
-		if int(b) < len(l.blocks) && l.blocks[b].allocated() {
-			bad("allocated block %d in free pool", b)
+	}
+	for b := ld.BlockID(1); b < l.nextFresh; b++ {
+		if !l.blocks[b].allocated() && !freeSeen[b] {
+			bad("unallocated block %d below fresh watermark %d missing from free pools", b, l.nextFresh)
+		}
+	}
+	listSeen := make(map[ld.ListID]bool)
+	for _, lid := range l.freeLists.all() {
+		if listSeen[lid] {
+			bad("list id %d in free pool twice", lid)
+		}
+		listSeen[lid] = true
+		if _, ok := l.lists[lid]; ok {
+			bad("live list %d in free pool", lid)
 		}
 	}
 

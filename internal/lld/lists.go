@@ -77,7 +77,7 @@ func (l *LLD) applyFree(bid ld.BlockID, lid ld.ListID, pred ld.BlockID) {
 	l.applyFreeStorage(bi)
 	bi.flags = 0
 	bi.lid = ld.NilList
-	l.freeIDs = append(l.freeIDs, bid)
+	l.pushFreeID(bid)
 }
 
 // applySetData installs a new physical location for bid's data, adjusting
@@ -136,14 +136,14 @@ func (l *LLD) applyDelList(lid ld.ListID) {
 		bi.flags = 0
 		bi.next = ld.NilBlock
 		bi.lid = ld.NilList
-		l.freeIDs = append(l.freeIDs, b)
+		l.pushFreeID(b)
 		b = next
 	}
 	delete(l.lists, lid)
 	if idx := l.orderIndex(lid); idx >= 0 {
 		l.order = append(l.order[:idx], l.order[idx+1:]...)
 	}
-	l.freeLists = append(l.freeLists, lid)
+	l.freeLists.push(lid)
 }
 
 // applyMoveBlocks splices the run [first,last] out of src (whose resolved

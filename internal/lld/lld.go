@@ -127,6 +127,9 @@ type Stats struct {
 	BGCleanErrors int64 // background passes abandoned on error
 	WriterWaits   int64 // mutators that blocked on an exhausted free pool
 
+	MapShards     int64 // lock stripes the block map is partitioned into (gauge)
+	ShardedWrites int64 // writes that ran the striped prepare/transform/apply path
+
 	HintHits   int64
 	HintMisses int64
 
@@ -170,6 +173,12 @@ type Stats struct {
 // read-path statistics counters are updated atomically (see Stats), and
 // the per-list ListIndex cursor memo is guarded by cursorMu, which nests
 // strictly inside mu and is never held across I/O.
+//
+// Above mu sit the block-map stripe locks (shards): Write holds its
+// block's stripe across a prepare/transform/apply window so the CPU-heavy
+// part of a write (compression, checksumming) runs with mu released and
+// writes to different stripes overlap. mapShard documents the discipline;
+// the lock order is stripe locks ascending, then mu.
 type LLD struct {
 	mu   sync.RWMutex
 	dsk  disk.Backend
@@ -180,13 +189,20 @@ type LLD struct {
 	ts uint64 // last issued timestamp (monotone operation counter)
 
 	blocks    []blockInfo // indexed by BlockID; entry 0 unused
-	freeIDs   []ld.BlockID
-	nextFresh ld.BlockID // smallest never-allocated id
+	nextFresh ld.BlockID  // smallest never-allocated id
+
+	// shards are the lock stripes of the block-number map (see mapShard):
+	// shard i owns ids with id mod len(shards) == i and pools the free
+	// ones. allocCursor rotates pool pops across shards so consecutive
+	// allocations land on different stripes; like the pools themselves it
+	// is guarded by mu.
+	shards      []mapShard
+	allocCursor int
 
 	lists     map[ld.ListID]*listInfo
 	order     []ld.ListID // the list of lists
 	nextList  ld.ListID
-	freeLists []ld.ListID
+	freeLists freePool[ld.ListID]
 	deadLists map[ld.ListID]uint64 // deleted list -> ts of its newest tombstone record
 
 	segs       []segInfo
@@ -338,6 +354,7 @@ func Open(dsk disk.Backend, opts Options) (*LLD, error) {
 		lists:     make(map[ld.ListID]*listInfo),
 		deadLists: make(map[ld.ListID]uint64),
 		nextList:  1,
+		shards:    make([]mapShard, opts.mapShards()),
 		segs:      make([]segInfo, lay.nSegments),
 		scratch:   make([]byte, lay.segmentSize+lay.sectorSize),
 	}
@@ -419,7 +436,9 @@ func (l *LLD) nextTS() uint64 {
 func (l *LLD) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.stats
+	s := l.stats
+	s.MapShards = int64(len(l.shards))
+	return s
 }
 
 // maxIORetries bounds how many times a disk request that failed with a

@@ -79,34 +79,77 @@ func (l *LLD) Read(b ld.BlockID, buf []byte) (int, error) {
 // Write implements ld.Disk. The block's data is copied into the segment in
 // main memory; the segment is written to disk in a single operation when
 // full (paper §3.1).
+//
+// Write is the striped operation: it holds its block's stripe lock across
+// a three-phase window — prepare (validate and read the compression
+// decision under the shared instance lock), transform (compress and
+// checksum with no instance lock at all), apply (append the log record and
+// install the new location under the exclusive instance lock). The stripe
+// lock keeps b's logical state frozen across the window, so writes to
+// blocks on different stripes overlap their transform phases and meet only
+// at the log append.
 func (l *LLD) Write(b ld.BlockID, data []byte) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.checkOpen(); err != nil {
-		return err
+	sh := l.shardOf(b)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Prepare. Every operation that could deallocate b or retag its owning
+	// list holds this stripe, so what is validated here stays true for the
+	// whole window.
+	l.mu.RLock()
+	err := l.checkOpen()
+	var bi *blockInfo
+	if err == nil {
+		bi, err = l.blockAt(b)
 	}
-	bi, err := l.blockAt(b)
+	if err == nil && len(data) > l.lay.maxBlockSize {
+		err = fmt.Errorf("%w: %d > %d", ld.ErrTooLarge, len(data), l.lay.maxBlockSize)
+	}
+	wantCompress := false
+	if err == nil {
+		li := l.lists[bi.lid]
+		wantCompress = li != nil && li.hints.Compress && len(data) >= 64 && !l.opts.CompressOnClean
+	}
+	l.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	if len(data) > l.lay.maxBlockSize {
-		return fmt.Errorf("%w: %d > %d", ld.ErrTooLarge, len(data), l.lay.maxBlockSize)
-	}
 
+	// Transform: the CPU-heavy part of a write runs outside the instance
+	// lock. Statistics deltas accumulate locally and land under the
+	// exclusive lock in apply.
 	store := data
 	compressed := false
-	if li := l.lists[bi.lid]; li != nil && li.hints.Compress && len(data) >= 64 && !l.opts.CompressOnClean {
+	if wantCompress {
 		c := compress.Compress(make([]byte, 0, len(data)), data)
-		l.compressCPU += l.opts.compressDelay(len(data))
-		l.stats.CompressInBytes += int64(len(data))
 		if len(c) < len(data) {
 			store = c
 			compressed = true
+		}
+	}
+	crc := payloadCRC(store)
+
+	// Apply.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.checkOpen(); err != nil {
+		// Shutdown takes no stripe locks, so it can land mid-window.
+		return err
+	}
+	// Still allocated and on the same list: guaranteed by the stripe lock,
+	// not re-validated.
+	bi = &l.blocks[b]
+	if wantCompress {
+		l.compressCPU += l.opts.compressDelay(len(data))
+		l.stats.CompressInBytes += int64(len(data))
+		if compressed {
 			l.stats.CompressedBlocks++
 		}
 		l.stats.CompressOutBytes += int64(len(store))
 	}
-
+	// Recompute the superseded byte count now rather than trusting the
+	// prepare-time view: the cleaner and scrubber (which take no stripe
+	// locks) may have moved or re-compressed b since.
 	old := int64(0)
 	if bi.hasData() {
 		old = int64(bi.stored)
@@ -117,9 +160,6 @@ func (l *LLD) Write(b ld.BlockID, data []byte) error {
 	if err := l.ensureRoom(len(store), blockEntryEncSize); err != nil {
 		return err
 	}
-	// The map entry may have been invalidated by pointer if cleaning
-	// resized nothing (blocks slice is stable), but re-fetch for clarity.
-	bi = &l.blocks[b]
 	off := l.appendData(store)
 	flags := uint8(0)
 	if compressed {
@@ -128,7 +168,6 @@ func (l *LLD) Write(b ld.BlockID, data []byte) error {
 	if !l.aruOpen {
 		flags |= entryCommitted
 	}
-	crc := payloadCRC(store)
 	l.addEntry(blockEntry{
 		bid:    b,
 		ts:     l.nextTS(),
@@ -141,6 +180,7 @@ func (l *LLD) Write(b ld.BlockID, data []byte) error {
 	l.applySetData(b, l.cur.id, off, len(store), len(data), compressed, crc)
 	l.stats.BlocksWritten++
 	l.stats.UserBytesWritten += int64(len(data))
+	l.stats.ShardedWrites++
 	return nil
 }
 
@@ -181,23 +221,27 @@ func (l *LLD) NewBlock(lid ld.ListID, pred ld.BlockID) (ld.BlockID, error) {
 			return ld.NilBlock, fmt.Errorf("%w: predecessor %d not on list %d", ld.ErrNotInList, pred, lid)
 		}
 	}
+	// No stripe lock here: an unallocated id can have no open Write window
+	// (windows validate allocation at prepare, and freeing an allocated id
+	// requires the stripe lock the window already holds), so allocation is
+	// invisible to every in-flight window. Taking a stripe after choosing
+	// the id would also invert the stripe-before-instance lock order.
 	var bid ld.BlockID
-	switch {
-	case len(l.freeIDs) > 0:
-		bid = l.freeIDs[len(l.freeIDs)-1]
-		l.freeIDs = l.freeIDs[:len(l.freeIDs)-1]
-	case int(l.nextFresh) <= l.lay.maxBlocks:
+	fromPool := false
+	if id, ok := l.popFreeID(); ok {
+		bid, fromPool = id, true
+	} else if int(l.nextFresh) <= l.lay.maxBlocks {
 		bid = l.nextFresh
 		l.nextFresh++
-	default:
+	} else {
 		return ld.NilBlock, fmt.Errorf("%w: out of logical block numbers", ld.ErrNoSpace)
 	}
 	if err := l.ensureRoom(0, tupleSpace(tAlloc)); err != nil {
 		// Roll the number back.
-		if bid == l.nextFresh-1 {
-			l.nextFresh--
+		if fromPool {
+			l.pushFreeID(bid)
 		} else {
-			l.freeIDs = append(l.freeIDs, bid)
+			l.nextFresh--
 		}
 		return ld.NilBlock, err
 	}
@@ -210,8 +254,15 @@ func (l *LLD) NewBlock(lid ld.ListID, pred ld.BlockID) (ld.BlockID, error) {
 	return bid, nil
 }
 
-// DeleteBlock implements ld.Disk.
+// DeleteBlock implements ld.Disk. Freeing changes b's logical state, so it
+// takes b's stripe lock first: a free cannot land inside a concurrent
+// Write(b) window. The resolved predecessor needs no stripe — successor
+// pointers are only read and written under the instance lock, which
+// DeleteBlock holds exclusively throughout.
 func (l *LLD) DeleteBlock(b ld.BlockID, lid ld.ListID, predHint ld.BlockID) error {
+	sh := l.shardOf(b)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {
@@ -257,15 +308,14 @@ func (l *LLD) NewList(predList ld.ListID, hints ld.ListHints) (ld.ListID, error)
 		}
 	}
 	var lid ld.ListID
-	if len(l.freeLists) > 0 {
-		lid = l.freeLists[len(l.freeLists)-1]
-		l.freeLists = l.freeLists[:len(l.freeLists)-1]
+	if id, ok := l.freeLists.pop(); ok {
+		lid = id
 	} else {
 		lid = l.nextList
 		l.nextList++
 	}
 	if err := l.ensureRoom(0, tupleSpace(tNewList)); err != nil {
-		l.freeLists = append(l.freeLists, lid)
+		l.freeLists.push(lid)
 		return ld.NilList, err
 	}
 	l.applyNewList(lid, predList, hints)
@@ -274,7 +324,12 @@ func (l *LLD) NewList(predList ld.ListID, hints ld.ListHints) (ld.ListID, error)
 }
 
 // DeleteList implements ld.Disk. All blocks remaining on the list are freed.
+// Freeing an unbounded, not-yet-resolved set of blocks changes logical
+// state across every stripe, so all stripe locks are taken (ascending, per
+// the lock order) for the duration.
 func (l *LLD) DeleteList(lid ld.ListID, predHint ld.ListID) error {
+	l.lockAllShards()
+	defer l.unlockAllShards()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {
@@ -312,8 +367,13 @@ func (l *LLD) DeleteList(lid ld.ListID, predHint ld.ListID) error {
 	return nil
 }
 
-// MoveBlocks implements ld.Disk.
+// MoveBlocks implements ld.Disk. Retagging the run's owning list changes
+// logical state a concurrent Write window reads at prepare (the list's
+// compression hint), so like DeleteList it takes every stripe lock for the
+// duration rather than resolving the run first.
 func (l *LLD) MoveBlocks(first, last ld.BlockID, srcList, dstList ld.ListID, pred ld.BlockID, srcPredHint ld.BlockID) error {
+	l.lockAllShards()
+	defer l.unlockAllShards()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {

@@ -124,6 +124,16 @@ type Options struct {
 	// is never written to disk.
 	RecoveryWorkers int
 
+	// MapShards is the number of lock stripes the block-number map and its
+	// free-id pool are partitioned into (shard = block id mod MapShards).
+	// A write's CPU-heavy work — compression and payload checksumming —
+	// runs under its block's stripe lock with the instance lock released,
+	// so writes to blocks on different stripes overlap; the segment-log
+	// append stays the one global ordering point. 1 disables striping and
+	// reproduces the historical fully-serialized write path bit for bit;
+	// 0 picks min(GOMAXPROCS, 64). A runtime knob, never written to disk.
+	MapShards int
+
 	// BackgroundClean moves watermark-triggered cleaning off the foreground
 	// path: the instance owns a goroutine that claims the exclusive lock
 	// for at most CleanStepSegments victim segments at a time and yields
@@ -207,6 +217,9 @@ func (o Options) validate(sectorSize int) error {
 	if o.ScrubStepSegments < 0 {
 		return fmt.Errorf("lld: scrub step %d negative", o.ScrubStepSegments)
 	}
+	if o.MapShards < 0 {
+		return fmt.Errorf("lld: map shards %d negative", o.MapShards)
+	}
 	return nil
 }
 
@@ -226,6 +239,18 @@ func (o Options) scrubStep() int {
 		return 1
 	}
 	return o.ScrubStepSegments
+}
+
+// mapShards resolves the configured stripe count to an effective one.
+func (o Options) mapShards() int {
+	n := o.MapShards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 64 {
+			n = 64
+		}
+	}
+	return n
 }
 
 // recoveryWorkers resolves the configured worker count to an effective one.

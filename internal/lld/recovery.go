@@ -799,14 +799,8 @@ func (l *LLD) installRecovered(rs *recState) {
 		}
 		li.count = n
 	}
-	// Free pools.
+	// Free pools: derived, so rebuilt rather than recovered.
 	l.nextFresh = maxUsed + 1
-	l.freeIDs = l.freeIDs[:0]
-	for i := ld.BlockID(1); i < l.nextFresh; i++ {
-		if !l.blocks[i].allocated() {
-			l.freeIDs = append(l.freeIDs, i)
-		}
-	}
 	maxList := ld.ListID(0)
 	for lid := range l.lists {
 		if lid > maxList {
@@ -814,10 +808,5 @@ func (l *LLD) installRecovered(rs *recState) {
 		}
 	}
 	l.nextList = maxList + 1
-	l.freeLists = l.freeLists[:0]
-	for lid := ld.ListID(1); lid < l.nextList; lid++ {
-		if l.lists[lid] == nil {
-			l.freeLists = append(l.freeLists, lid)
-		}
-	}
+	l.rebuildFreePools()
 }

@@ -1,0 +1,119 @@
+package lld
+
+import (
+	"sync"
+
+	"repro/internal/ld"
+)
+
+// mapShard is one lock stripe of the block-number map. Shard s owns every
+// block id b with b mod MapShards == s (modulo striping spreads
+// consecutively allocated ids across stripes), and carries the free-id
+// pool for the ids it owns.
+//
+// The stripe lock does NOT replace the instance lock: every mutation of
+// shared state still happens with l.mu held exclusively, so exclusive-lock
+// code (the cleaner, the scrubber, recovery, Flush, Shutdown) and
+// shared-lock readers are correct without ever touching a stripe. What the
+// stripe lock adds is a per-block critical section that may SPAN instance
+// lock releases: Write holds its block's stripe across a
+// prepare/transform/apply window so the block's logical state (allocated,
+// owning list) cannot change while the CPU-heavy transform runs outside
+// l.mu. The discipline, enforced by taking the stripe lock in every
+// operation that changes a block's logical state, is:
+//
+//   - Changing a block's logical state — allocating it, freeing it, or
+//     retagging its owning list — requires its stripe lock (DeleteBlock
+//     takes one stripe; DeleteList and MoveBlocks take all stripes).
+//     Exception: NewBlock takes none, because an unallocated id can have
+//     no open window (windows validate allocation at prepare, and freeing
+//     an allocated id requires the stripe that the window already holds).
+//   - Changing only a block's physical placement (cleaner, scrubber
+//     salvage, reclaim, SwapContents) requires no stripe lock: windows
+//     re-read placement under l.mu at apply, so relocation between
+//     prepare and apply is harmless.
+//   - The per-shard free pools are guarded by l.mu exclusive like the rest
+//     of the shared state; the partition exists to spread allocations
+//     across stripes and to make disjointness checkable, not for
+//     independent locking.
+//
+// Lock order: stripe locks in ascending shard index, then l.mu. The
+// stripe locks are therefore "above" the instance lock; nothing acquires
+// a stripe while holding l.mu.
+type mapShard struct {
+	mu   sync.RWMutex
+	free freePool[ld.BlockID]
+	_    [16]byte // pad to a cache line so stripe locks do not false-share
+}
+
+// shardOf returns the stripe that owns block id b.
+func (l *LLD) shardOf(b ld.BlockID) *mapShard {
+	return &l.shards[uint32(b)%uint32(len(l.shards))]
+}
+
+// lockAllShards acquires every stripe lock in ascending index order; it is
+// used by the operations that change the logical state of an unbounded set
+// of blocks (DeleteList, MoveBlocks).
+func (l *LLD) lockAllShards() {
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+}
+
+// unlockAllShards releases what lockAllShards acquired.
+func (l *LLD) unlockAllShards() {
+	for i := len(l.shards) - 1; i >= 0; i-- {
+		l.shards[i].mu.Unlock()
+	}
+}
+
+// pushFreeID returns a freed block number to its owning shard's pool.
+// Callers hold l.mu exclusively.
+func (l *LLD) pushFreeID(b ld.BlockID) { l.shardOf(b).free.push(b) }
+
+// popFreeID takes a recyclable block number, rotating the starting shard
+// so consecutive allocations land on different stripes. Callers hold l.mu
+// exclusively. With one shard this is exactly the historical global LIFO.
+func (l *LLD) popFreeID() (ld.BlockID, bool) {
+	n := len(l.shards)
+	for i := 0; i < n; i++ {
+		s := (l.allocCursor + i) % n
+		if id, ok := l.shards[s].free.pop(); ok {
+			l.allocCursor = (s + 1) % n
+			return id, true
+		}
+	}
+	return ld.NilBlock, false
+}
+
+// freeIDCount returns the total number of pooled block numbers.
+func (l *LLD) freeIDCount() int {
+	n := 0
+	for i := range l.shards {
+		n += l.shards[i].free.size()
+	}
+	return n
+}
+
+// rebuildFreePools rederives the per-shard free block-number pools and the
+// free list-id pool from the allocation state, in ascending id order, and
+// rewinds the allocation cursor. The pools are derived state — neither the
+// checkpoint nor the segment summaries serialize them — so both the
+// recovery sweep and the checkpoint loader finish by calling this.
+func (l *LLD) rebuildFreePools() {
+	for i := range l.shards {
+		l.shards[i].free.reset()
+	}
+	for b := ld.BlockID(1); b < l.nextFresh; b++ {
+		if !l.blocks[b].allocated() {
+			l.pushFreeID(b)
+		}
+	}
+	l.allocCursor = 0
+	l.freeLists.reset()
+	for lid := ld.ListID(1); lid < l.nextList; lid++ {
+		if l.lists[lid] == nil {
+			l.freeLists.push(lid)
+		}
+	}
+}

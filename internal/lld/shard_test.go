@@ -1,0 +1,556 @@
+package lld
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// These tests cover the lock-striped block-number map (Options.MapShards):
+// equivalence with the unsharded instance, free-pool partition invariants
+// across allocation churn, recovery, and checkpoints, and concurrent
+// writers crossing stripe boundaries cross-checked against the msModel
+// reference model (they are meant to run under -race).
+
+func TestShardOptionsResolve(t *testing.T) {
+	o := testOptions()
+	if n := o.mapShards(); n <= 0 {
+		t.Errorf("default MapShards resolved to %d", n)
+	}
+	o.MapShards = 5
+	if n := o.mapShards(); n != 5 {
+		t.Errorf("MapShards=5 resolved to %d", n)
+	}
+	o.MapShards = -1
+	if err := o.validate(512); err == nil {
+		t.Error("negative MapShards passed validation")
+	}
+}
+
+// runReuseFreeWorkload drives a deterministic single-threaded history with
+// no block-number reuse: allocations, writes and rewrites (plain and
+// compressed), flushes, and enough rewrite churn to force cleaning.
+func runReuseFreeWorkload(t *testing.T, l *LLD) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	plain := mustNewList(t, l, ld.NilList, ld.ListHints{})
+	comp := mustNewList(t, l, plain, ld.ListHints{Compress: true})
+	var blocks []ld.BlockID
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 30; i++ {
+			lid := plain
+			if i%3 == 0 {
+				lid = comp
+			}
+			b := mustNewBlock(t, l, lid, ld.NilBlock)
+			blocks = append(blocks, b)
+			mustWrite(t, l, b, bytes.Repeat([]byte{byte(rng.Intn(256))}, 64+rng.Intn(2500)))
+		}
+		for i := 0; i < 25; i++ {
+			b := blocks[rng.Intn(len(blocks))]
+			mustWrite(t, l, b, bytes.Repeat([]byte{byte(rng.Intn(256))}, 64+rng.Intn(2500)))
+		}
+		if err := l.Flush(ld.FailPower); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+}
+
+// TestShardUnshardedEquivalence replays the same single-threaded,
+// reuse-free history at several stripe counts and requires byte-identical
+// platters: striping changes locking, not any on-disk decision. (Once
+// freed ids are re-allocated the POOL POP ORDER legitimately differs
+// across stripe counts; logical equivalence under reuse is covered by
+// TestShardRecoveryEquivalence and TestShardFreePoolChurn.)
+func TestShardUnshardedEquivalence(t *testing.T) {
+	var want []byte
+	for _, n := range []int{1, 2, 7} {
+		o := testOptions()
+		o.MapShards = n
+		d, l := newTestLLD(t, 1<<20, o)
+		runReuseFreeWorkload(t, l)
+		if viol := l.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("MapShards=%d: invariant violations: %v", n, viol)
+		}
+		if got := l.Stats().MapShards; got != int64(n) {
+			t.Errorf("Stats().MapShards = %d, want %d", got, n)
+		}
+		if err := l.Shutdown(true); err != nil {
+			t.Fatalf("MapShards=%d: shutdown: %v", n, err)
+		}
+		snap := d.Snapshot()
+		if n == 1 {
+			want = snap
+		} else if !bytes.Equal(snap, want) {
+			t.Errorf("MapShards=%d: platter differs from MapShards=1", n)
+		}
+	}
+}
+
+// sortedFreeIDs flattens the per-shard pools into one sorted slice.
+func sortedFreeIDs(l *LLD) []ld.BlockID {
+	var out []ld.BlockID
+	for s := range l.shards {
+		out = append(out, l.shards[s].free.all()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stripPoolLines drops the free-pool rendering from a fingerprint; the
+// pool PARTITION is stripe-count dependent even when the pooled id set is
+// identical.
+func stripPoolLines(fp string) string {
+	lines := strings.Split(fp, "\n")
+	out := lines[:0]
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "freeIDs[") {
+			continue
+		}
+		out = append(out, ln)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestShardRecoveryEquivalence recovers one crashed image (rich in
+// deletions, so the pools are non-trivial) at several stripe counts: the
+// rebuilt state must agree on everything except how the free ids are
+// partitioned, and the pooled id SET must be identical.
+func TestShardRecoveryEquivalence(t *testing.T) {
+	opts := testOptions()
+	img := buildCrashedImage(t, 8<<20, opts)
+
+	recover := func(n int) (*LLD, string, []ld.BlockID) {
+		d := disk.New(disk.DefaultConfig(8 << 20))
+		if err := d.Restore(img); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		o := opts
+		o.MapShards = n
+		l, err := Open(d, o)
+		if err != nil {
+			t.Fatalf("open with %d shards: %v", n, err)
+		}
+		if viol := l.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("shards=%d: invariant violations: %v", n, viol)
+		}
+		return l, stripPoolLines(fingerprintInternal(l)), sortedFreeIDs(l)
+	}
+
+	base, wantFP, wantFree := recover(1)
+	wantCanon := canonLD(t, base)
+	for _, n := range []int{2, 4, 8} {
+		l, fp, free := recover(n)
+		if fp != wantFP {
+			t.Errorf("shards=%d: recovered state differs from unsharded:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				n, wantFP, n, fp)
+		}
+		if fmt.Sprint(free) != fmt.Sprint(wantFree) {
+			t.Errorf("shards=%d: pooled free ids %v, want %v", n, free, wantFree)
+		}
+		if got := canonLD(t, l); got != wantCanon {
+			t.Errorf("shards=%d: logical contents differ from unsharded", n)
+		}
+	}
+}
+
+// TestShardFreePoolChurn drives heavy id recycling through the sharded
+// pools — delete, re-allocate, DeleteList, MoveBlocks — and audits the
+// partition invariants after every phase, after a checkpointed restart,
+// and after crash recovery.
+func TestShardFreePoolChurn(t *testing.T) {
+	o := testOptions()
+	o.MapShards = 8
+	d, l := newTestLLD(t, 4<<20, o)
+	rng := rand.New(rand.NewSource(9))
+
+	audit := func(phase string) {
+		t.Helper()
+		if viol := l.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("%s: invariant violations: %v", phase, viol)
+		}
+	}
+
+	lids := []ld.ListID{
+		mustNewList(t, l, ld.NilList, ld.ListHints{}),
+		mustNewList(t, l, ld.NilList, ld.ListHints{}),
+		mustNewList(t, l, ld.NilList, ld.ListHints{}),
+	}
+	type member struct {
+		lid ld.ListID
+		id  ld.BlockID
+	}
+	var live []member
+	for i := 0; i < 120; i++ {
+		lid := lids[rng.Intn(len(lids))]
+		b := mustNewBlock(t, l, lid, ld.NilBlock)
+		mustWrite(t, l, b, bytes.Repeat([]byte{byte(i)}, 64+rng.Intn(1000)))
+		live = append(live, member{lid, b})
+	}
+	audit("allocate")
+
+	for i := 0; i < 60; i++ {
+		j := rng.Intn(len(live))
+		if err := l.DeleteBlock(live[j].id, live[j].lid, ld.NilBlock); err != nil {
+			t.Fatalf("DeleteBlock: %v", err)
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	audit("delete")
+
+	for i := 0; i < 40; i++ {
+		lid := lids[rng.Intn(len(lids))]
+		b := mustNewBlock(t, l, lid, ld.NilBlock)
+		mustWrite(t, l, b, bytes.Repeat([]byte{0xAB}, 256))
+		live = append(live, member{lid, b})
+	}
+	audit("reallocate")
+
+	// Move a run between lists, then delete a whole list: both paths free
+	// or retag blocks across every stripe.
+	src, dst := lids[0], lids[1]
+	if blocks, err := l.ListBlocks(src); err == nil && len(blocks) >= 3 {
+		if err := l.MoveBlocks(blocks[0], blocks[2], src, dst, ld.NilBlock, ld.NilBlock); err != nil {
+			t.Fatalf("MoveBlocks: %v", err)
+		}
+		for i := range live {
+			if live[i].lid == src && (live[i].id == blocks[0] || live[i].id == blocks[1] || live[i].id == blocks[2]) {
+				live[i].lid = dst
+			}
+		}
+	}
+	audit("move")
+	if err := l.DeleteList(lids[2], ld.NilList); err != nil {
+		t.Fatalf("DeleteList: %v", err)
+	}
+	keep := live[:0]
+	for _, m := range live {
+		if m.lid != lids[2] {
+			keep = append(keep, m)
+		}
+	}
+	live = keep
+	audit("delete list")
+
+	// Checkpointed restart rebuilds the pools from the checkpoint loader.
+	if err := l.Shutdown(true); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	l2, err := Open(d, o)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	l = l2
+	audit("checkpoint reload")
+
+	// Crash recovery rebuilds them from the summary sweep.
+	for i := 0; i < 20; i++ {
+		j := rng.Intn(len(live))
+		mustWrite(t, l, live[j].id, bytes.Repeat([]byte{0xCD}, 512))
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Shutdown(false); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	img := d.Snapshot()
+	d2 := disk.New(disk.DefaultConfig(4 << 20))
+	if err := d2.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(d2, o)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	l = l3
+	audit("crash recovery")
+}
+
+// TestShardConcurrentWritersModel drives concurrent writers whose block
+// sets are disjoint but interleaved across every stripe, in deterministic
+// barrier-separated rounds: within a round the stripe interleaving is free
+// (that is what is under test, especially with -race), across rounds the
+// final state is schedule-independent, so it can be checked against the
+// msModel reference model — list structure, member order, and contents —
+// and re-checked after a restart.
+func TestShardConcurrentWritersModel(t *testing.T) {
+	const writers = 4
+	const perWriter = 6
+	const rounds = 20
+
+	o := testOptions()
+	o.MapShards = 3 // coprime with the writer count: every writer's set spans stripes
+	o.BackgroundClean = true
+	_, l := newTestLLD(t, 8<<20, o)
+
+	model := &msModel{
+		lists: make(map[ld.ListID][]ld.BlockID),
+		tag:   make(map[ld.BlockID]byte),
+	}
+	tagOf := func(w, r, i int) byte { return byte(1 + (w*89+r*31+i*7)%255) }
+	lenOf := func(w, r, i int) int { return 64 + (w*509+r*257+i*101)%1900 }
+
+	blocks := make([][]ld.BlockID, writers)
+	for w := 0; w < writers; w++ {
+		hints := ld.ListHints{}
+		if w%2 == 1 {
+			hints.Compress = true
+		}
+		lid := mustNewList(t, l, ld.NilList, hints)
+		model.order = append(model.order, lid)
+		pred := ld.NilBlock
+		for i := 0; i < perWriter; i++ {
+			b := mustNewBlock(t, l, lid, pred)
+			pred = b
+			blocks[w] = append(blocks[w], b)
+			model.lists[lid] = append(model.lists[lid], b)
+			model.tag[b] = tagOf(w, rounds-1, i)
+		}
+		// The point of the test: every writer's set must cross stripes.
+		stripes := map[uint32]bool{}
+		for _, b := range blocks[w] {
+			stripes[uint32(b)%uint32(o.MapShards)] = true
+		}
+		if len(stripes) < 2 {
+			t.Fatalf("writer %d's blocks all on one stripe; test is not exercising cross-stripe writes", w)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i, b := range blocks[w] {
+					data := bytes.Repeat([]byte{tagOf(w, r, i)}, lenOf(w, r, i))
+					if err := l.Write(b, data); err != nil {
+						errs <- fmt.Errorf("writer %d round %d: %w", w, r, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := canonLD(t, l), model.canon(); got != want {
+		t.Errorf("after concurrent rounds: state differs from model\n--- model ---\n%s\n--- ld ---\n%s", want, got)
+	}
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("invariant violations: %v", viol)
+	}
+	st := l.Stats()
+	if want := int64(writers * perWriter * rounds); st.ShardedWrites != want {
+		t.Errorf("ShardedWrites = %d, want %d", st.ShardedWrites, want)
+	}
+
+	// The agreed-on state must also be the durable one.
+	d2, l2 := restartClean(t, l)
+	defer func() { _ = d2 }()
+	if got, want := canonLD(t, l2), model.canon(); got != want {
+		t.Errorf("after restart: state differs from model\n--- model ---\n%s\n--- ld ---\n%s", want, got)
+	}
+}
+
+// restartClean shuts l down cleanly and reopens the same platter image in
+// a fresh instance with the same options.
+func restartClean(t *testing.T, l *LLD) (*disk.Disk, *LLD) {
+	t.Helper()
+	if err := l.Shutdown(true); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	d, ok := l.dsk.(*disk.Disk)
+	if !ok {
+		t.Fatalf("restartClean: backend is %T, not *disk.Disk", l.dsk)
+	}
+	l2, err := Open(d, l.opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return d, l2
+}
+
+// TestShardConcurrentMixedOps races writers against the operations that
+// take stripe locks differently — DeleteBlock (one stripe), DeleteList and
+// MoveBlocks (all stripes), NewBlock (none), plus the explicit cleaner and
+// reorganizer (instance lock only) — and requires uniform (untorn) block
+// contents and clean invariants at the end. Run under -race this exercises
+// the whole stripe-lock discipline.
+func TestShardConcurrentMixedOps(t *testing.T) {
+	o := testOptions()
+	o.MapShards = 4
+	o.BackgroundClean = true
+	_, l := newTestLLD(t, 8<<20, o)
+
+	shared := mustNewList(t, l, ld.NilList, ld.ListHints{})
+	var sharedBlocks []ld.BlockID
+	for i := 0; i < 9; i++ {
+		sharedBlocks = append(sharedBlocks, mustNewBlock(t, l, shared, ld.NilBlock))
+	}
+
+	const hammerers = 3
+	const hammerOps = 250
+	var wg, cleanWG sync.WaitGroup
+	fail := make(chan error, hammerers+3)
+
+	// Hammerers: overlapping writes to the SAME blocks from different
+	// goroutines; last writer wins, but every read must see one writer's
+	// complete payload.
+	for w := 0; w < hammerers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < hammerOps; i++ {
+				b := sharedBlocks[rng.Intn(len(sharedBlocks))]
+				tag := byte(1 + (w*97+i)%255)
+				if err := l.Write(b, bytes.Repeat([]byte{tag}, 64+rng.Intn(2000))); err != nil {
+					fail <- fmt.Errorf("hammerer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Churner: allocate/delete on its own list, recycling ids through the
+	// sharded pools while the hammerers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		churn, err := l.NewList(ld.NilList, ld.ListHints{})
+		if err != nil {
+			fail <- err
+			return
+		}
+		rng := rand.New(rand.NewSource(200))
+		var mine []ld.BlockID
+		for i := 0; i < 200; i++ {
+			if len(mine) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(mine))
+				if err := l.DeleteBlock(mine[j], churn, ld.NilBlock); err != nil {
+					fail <- fmt.Errorf("churner delete: %w", err)
+					return
+				}
+				mine[j] = mine[len(mine)-1]
+				mine = mine[:len(mine)-1]
+				continue
+			}
+			b, err := l.NewBlock(churn, ld.NilBlock)
+			if err != nil {
+				fail <- fmt.Errorf("churner alloc: %w", err)
+				return
+			}
+			if err := l.Write(b, bytes.Repeat([]byte{0x55}, 64+rng.Intn(500))); err != nil {
+				fail <- fmt.Errorf("churner write: %w", err)
+				return
+			}
+			mine = append(mine, b)
+		}
+	}()
+
+	// Surgeon: MoveBlocks and DeleteList take every stripe lock while the
+	// others hold individual stripes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			a, err := l.NewList(ld.NilList, ld.ListHints{})
+			if err != nil {
+				fail <- err
+				return
+			}
+			b, err := l.NewList(ld.NilList, ld.ListHints{})
+			if err != nil {
+				fail <- err
+				return
+			}
+			var run []ld.BlockID
+			pred := ld.NilBlock
+			for j := 0; j < 4; j++ {
+				blk, err := l.NewBlock(a, pred)
+				if err != nil {
+					fail <- err
+					return
+				}
+				pred = blk
+				run = append(run, blk)
+				if err := l.Write(blk, bytes.Repeat([]byte{0x77}, 300)); err != nil {
+					fail <- err
+					return
+				}
+			}
+			if err := l.MoveBlocks(run[0], run[3], a, b, ld.NilBlock, ld.NilBlock); err != nil {
+				fail <- fmt.Errorf("surgeon move: %w", err)
+				return
+			}
+			if err := l.DeleteList(b, ld.NilList); err != nil {
+				fail <- fmt.Errorf("surgeon delete list b: %w", err)
+				return
+			}
+			if err := l.DeleteList(a, ld.NilList); err != nil {
+				fail <- fmt.Errorf("surgeon delete list a: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Explicit cleaner and reorganizer compete for the instance lock.
+	stopClean := make(chan struct{})
+	cleanWG.Add(1)
+	go func() {
+		defer cleanWG.Done()
+		for {
+			select {
+			case <-stopClean:
+				return
+			default:
+			}
+			if _, err := l.Clean(1); err != nil {
+				fail <- fmt.Errorf("clean: %w", err)
+				return
+			}
+			if err := l.Reorganize(1); err != nil {
+				fail <- fmt.Errorf("reorganize: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopClean)
+	cleanWG.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	// Every shared block must hold one writer's complete payload.
+	buf := make([]byte, l.MaxBlockSize())
+	for _, b := range sharedBlocks {
+		n, err := l.Read(b, buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", b, err)
+		}
+		if n > 0 && !bytes.Equal(buf[:n], bytes.Repeat([]byte{buf[0]}, n)) {
+			t.Errorf("block %d holds torn content", b)
+		}
+	}
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("invariant violations: %v", viol)
+	}
+}
