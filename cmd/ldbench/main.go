@@ -27,6 +27,15 @@
 //	ldbench -conc -clients 1,4,16          # choose the client counts
 //	ldbench -conc -remote localhost:7093   # same suite over netld
 //
+// The batched-read benchmark scans a working set per-block and then
+// through one OpReadMulti batch per sweep, in-process or against a live
+// server; on a latency-bearing link the batch amortizes the per-block
+// round trips:
+//
+//	ldbench -batchbench                          # in-process LLD
+//	ldbench -batchbench -remote localhost:7093   # over netld
+//	ldbench -batchbench -batch-blocks 256        # bigger working set
+//
 // The cleaner-stall benchmark runs the same write-heavy workload on a
 // space-tight in-process LLD twice — once with inline cleaning on the
 // write path, once with the background cleaner goroutine — and reports
@@ -230,6 +239,25 @@ func runMultiDisk(stripe, mirror bool, ioBytes int64) error {
 	return nil
 }
 
+// runBatchBench scans the same working set per-block and batched and
+// prints both rates plus the round-trip amortization factor.
+func runBatchBench(open ldmicro.OpenFunc, label string, blocks, rounds int) error {
+	fmt.Printf("# LD batched reads (%s) — wall time, %d blocks x %d sweeps\n", label, blocks, rounds)
+	per, batched, err := ldmicro.RunBatchReadComparison(label, open, ldmicro.BatchReadConfig{
+		Blocks: blocks,
+		Rounds: rounds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(per)
+	fmt.Println(batched)
+	if pb := per.BlocksPerSec(); pb > 0 {
+		fmt.Printf("batched speedup: %.2fx\n", batched.BlocksPerSec()/pb)
+	}
+	return nil
+}
+
 // parseClients parses a comma-separated client-count list like "1,4,16".
 func parseClients(s string) ([]int, error) {
 	var out []int
@@ -312,6 +340,9 @@ func main() {
 	conc := flag.Bool("conc", false, "run the multi-client throughput suite (in-process, or against -remote)")
 	concClients := flag.String("clients", "1,4,16", "comma-separated client counts for -conc")
 	concOps := flag.Int("conc-ops", 2000, "operations per client for -conc")
+	batchbench := flag.Bool("batchbench", false, "run the per-block vs batched read scan (in-process, or against -remote)")
+	batchBlocks := flag.Int("batch-blocks", 64, "working-set size for -batchbench")
+	batchRounds := flag.Int("batch-rounds", 8, "sweeps per mode for -batchbench")
 	cleanbench := flag.Bool("cleanbench", false, "run the sync-vs-background cleaner writer-stall comparison")
 	cleanOps := flag.Int("clean-ops", 500, "rewrites per client for -cleanbench")
 	scrubbench := flag.Bool("scrubbench", false, "run the with-vs-without background scrubber writer-stall comparison")
@@ -325,6 +356,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -conc [-clients 1,4,16] [-remote addr]   (multi-client throughput)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -batchbench [-remote addr] [-batch-blocks N]   (per-block vs batched reads)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -shardbench [-shard-ops N]   (write scaling vs map-shard count)\n")
@@ -337,6 +369,34 @@ func main() {
 
 	if *stripeBench || *mirrorBench {
 		if err := runMultiDisk(*stripeBench, *mirrorBench, *mdiskBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *batchbench {
+		var open ldmicro.OpenFunc
+		label := "local in-process LLD"
+		if *remote != "" {
+			label = "remote " + *remote
+			addr := *remote
+			open = func() (ld.Disk, func() error, error) {
+				c, err := client.Dial(addr, client.Options{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return c, c.Close, nil
+			}
+		} else {
+			d, err := localMicroDisk()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+				os.Exit(1)
+			}
+			open = ldmicro.SingleHandle(d)
+		}
+		if err := runBatchBench(open, label, *batchBlocks, *batchRounds); err != nil {
 			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
 			os.Exit(1)
 		}

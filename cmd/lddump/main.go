@@ -121,7 +121,10 @@ func loadBackend(path string, mirrorN, stripeN int) (disk.Backend, error) {
 
 // dumpRemote walks a live server's logical state through the LD
 // interface: every list in list-of-lists order, its block count and
-// total bytes, and (verbose) each block's id and stored size.
+// total bytes, and (verbose) each block's id and stored size. Each list
+// is fetched as one batched OpReadMulti sweep (two round trips) rather
+// than one round trip per block, and a damaged block degrades to a
+// per-entry note instead of aborting the walk.
 func dumpRemote(w io.Writer, addr string, verbose bool) error {
 	c, err := client.Dial(addr, client.Options{})
 	if err != nil {
@@ -136,33 +139,42 @@ func dumpRemote(w io.Writer, addr string, verbose bool) error {
 		return err
 	}
 	fmt.Fprintf(w, "lists: %d\n", len(lists))
-	var totalBlocks, totalBytes int64
+	var totalBlocks, totalBytes, totalBad int64
 	for _, lid := range lists {
-		ids, err := c.ListBlocks(lid)
+		entries, err := c.ReadListBlocks(lid)
 		if err != nil {
 			return fmt.Errorf("list %d: %w", lid, err)
 		}
-		var bytes int64
-		for _, b := range ids {
-			n, err := c.BlockSize(b)
-			if err != nil {
-				return fmt.Errorf("block %d: %w", b, err)
+		var bytes, bad int64
+		for _, e := range entries {
+			if e.Err != nil {
+				bad++
+				continue
 			}
-			bytes += int64(n)
+			bytes += int64(len(e.Data))
 		}
-		totalBlocks += int64(len(ids))
+		totalBlocks += int64(len(entries))
 		totalBytes += bytes
-		fmt.Fprintf(w, "  L%-6d %6d blocks %10d bytes\n", lid, len(ids), bytes)
+		totalBad += bad
+		fmt.Fprintf(w, "  L%-6d %6d blocks %10d bytes", lid, len(entries), bytes)
+		if bad > 0 {
+			fmt.Fprintf(w, "  (%d unreadable)", bad)
+		}
+		fmt.Fprintln(w)
 		if verbose {
-			for _, b := range ids {
-				n, err := c.BlockSize(b)
-				if err != nil {
-					return err
+			for _, e := range entries {
+				if e.Err != nil {
+					fmt.Fprintf(w, "    B%-8d unreadable: %v\n", e.Block, e.Err)
+					continue
 				}
-				fmt.Fprintf(w, "    B%-8d %8d bytes\n", b, n)
+				fmt.Fprintf(w, "    B%-8d %8d bytes\n", e.Block, len(e.Data))
 			}
 		}
 	}
-	fmt.Fprintf(w, "total: %d blocks, %d bytes\n", totalBlocks, totalBytes)
+	fmt.Fprintf(w, "total: %d blocks, %d bytes", totalBlocks, totalBytes)
+	if totalBad > 0 {
+		fmt.Fprintf(w, ", %d unreadable", totalBad)
+	}
+	fmt.Fprintln(w)
 	return c.Shutdown(true)
 }

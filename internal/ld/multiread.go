@@ -1,0 +1,57 @@
+package ld
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockRead is the outcome of one block in a batched read: the number of
+// bytes copied into that block's buffer, or the error that block's
+// individual Read would have returned (ErrBadBlock for a missing block,
+// ErrCorrupt for detectably damaged data, ...). One bad block degrades its
+// own entry without failing the batch.
+type BlockRead struct {
+	N   int
+	Err error
+}
+
+// MultiReadDisk is implemented by disks that can serve a batch of reads
+// more cheaply than one Read call per block — a log-structured disk takes
+// its shared lock once, a remote disk spends one round trip. Use the
+// package-level ReadBlocks helper to batch against any Disk; it uses this
+// interface when present and falls back to sequential Reads otherwise.
+type MultiReadDisk interface {
+	Disk
+
+	// ReadBlocks reads bs[i] into bufs[i] and reports each block's
+	// outcome in results[i]. len(bufs) must equal len(bs). The returned
+	// error is reserved for whole-batch failures (shutdown, transport
+	// loss, malformed arguments); per-block failures land in the result
+	// entries, exactly as the corresponding sequence of Read calls would
+	// have reported them.
+	ReadBlocks(bs []BlockID, bufs [][]byte) ([]BlockRead, error)
+}
+
+// ReadBlocks batch-reads bs[i] into bufs[i] against any Disk: through the
+// disk's MultiReadDisk fast path when it has one, otherwise by issuing the
+// equivalent sequence of Read calls. Either way results[i] matches what
+// d.Read(bs[i], bufs[i]) would have returned.
+func ReadBlocks(d Disk, bs []BlockID, bufs [][]byte) ([]BlockRead, error) {
+	if len(bs) != len(bufs) {
+		return nil, fmt.Errorf("ld: ReadBlocks: %d blocks but %d buffers", len(bs), len(bufs))
+	}
+	if md, ok := d.(MultiReadDisk); ok {
+		return md.ReadBlocks(bs, bufs)
+	}
+	results := make([]BlockRead, len(bs))
+	for i, b := range bs {
+		n, err := d.Read(b, bufs[i])
+		results[i] = BlockRead{N: n, Err: err}
+		// A shut-down disk fails every remaining entry the same way;
+		// surface that as a batch failure rather than N copies of it.
+		if errors.Is(err, ErrShutdown) {
+			return nil, ErrShutdown
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,213 @@
+package ldmicro
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ld"
+)
+
+// BatchReadConfig sizes a list-scan workload: every client repeatedly
+// reads the whole working set, either one Read round trip per block or
+// one batched ld.ReadBlocks call per sweep. On a latency-bearing link the
+// difference is the round-trip count — 1+N versus 2 per sweep — which is
+// exactly what the batched wire read amortizes.
+type BatchReadConfig struct {
+	// Clients is the number of concurrent scanners. Default 1.
+	Clients int
+	// Blocks is the working-set size. Default 64.
+	Blocks int
+	// BlockSize is the payload size per block. Default 4 KiB.
+	BlockSize int
+	// Rounds is how many full sweeps each client performs. Default 4.
+	Rounds int
+}
+
+func (c BatchReadConfig) withDefaults() BatchReadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 64
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	return c
+}
+
+// BatchReadResult aggregates one scan run.
+type BatchReadResult struct {
+	Name    string
+	Batched bool
+	Clients int
+	Blocks  int64 // total blocks read across all clients and rounds
+	Bytes   int64
+	Seconds float64
+}
+
+// BlocksPerSec returns the aggregate block read rate.
+func (r BatchReadResult) BlocksPerSec() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Blocks) / r.Seconds
+}
+
+// String renders one result line.
+func (r BatchReadResult) String() string {
+	mode := "per-block"
+	if r.Batched {
+		mode = "batched"
+	}
+	return fmt.Sprintf("%-22s %-9s %2d clients %7d blocks in %8.3fs  %10.0f blocks/s",
+		r.Name, mode, r.Clients, r.Blocks, r.Seconds, r.BlocksPerSec())
+}
+
+// RunBatchRead prepares a working set, then scans it Rounds times from
+// each of Clients workers — through ld.ReadBlocks when batched, through
+// per-block Read calls otherwise. Every payload is verified, so a batch
+// that returns wrong bytes or spurious per-entry errors fails the run.
+func RunBatchRead(name string, open OpenFunc, cfg BatchReadConfig, batched bool) (BatchReadResult, error) {
+	cfg = cfg.withDefaults()
+
+	setup, closeSetup, err := open()
+	if err != nil {
+		return BatchReadResult{}, err
+	}
+	defer closeSetup()
+
+	lid, err := setup.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		return BatchReadResult{}, err
+	}
+	bids := make([]ld.BlockID, cfg.Blocks)
+	wbuf := make([]byte, cfg.BlockSize)
+	pred := ld.NilBlock
+	for i := range bids {
+		b, err := setup.NewBlock(lid, pred)
+		if err != nil {
+			return BatchReadResult{}, fmt.Errorf("setup block %d: %w", i, err)
+		}
+		concPayload(wbuf, i, 0)
+		if err := setup.Write(b, wbuf); err != nil {
+			return BatchReadResult{}, fmt.Errorf("setup write %d: %w", i, err)
+		}
+		bids[i], pred = b, b
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return BatchReadResult{}, err
+	}
+
+	handles := make([]ld.Disk, cfg.Clients)
+	closers := make([]func() error, cfg.Clients)
+	for w := 0; w < cfg.Clients; w++ {
+		d, cl, err := open()
+		if err != nil {
+			for j := 0; j < w; j++ {
+				closers[j]()
+			}
+			return BatchReadResult{}, err
+		}
+		handles[w], closers[w] = d, cl
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := handles[w]
+			bufs := make([][]byte, cfg.Blocks)
+			for i := range bufs {
+				bufs[i] = make([]byte, cfg.BlockSize)
+			}
+			for round := 0; round < cfg.Rounds; round++ {
+				if batched {
+					results, err := ld.ReadBlocks(d, bids, bufs)
+					if err != nil {
+						fail(fmt.Errorf("client %d round %d: %w", w, round, err))
+						return
+					}
+					for i, r := range results {
+						if r.Err != nil {
+							fail(fmt.Errorf("client %d round %d block %d: %w", w, round, i, r.Err))
+							return
+						}
+						if err := checkPayload(bufs[i][:r.N], i); err != nil {
+							fail(fmt.Errorf("client %d round %d: %w", w, round, err))
+							return
+						}
+					}
+				} else {
+					for i, b := range bids {
+						n, err := d.Read(b, bufs[i])
+						if err != nil {
+							fail(fmt.Errorf("client %d round %d block %d: %w", w, round, i, err))
+							return
+						}
+						if err := checkPayload(bufs[i][:n], i); err != nil {
+							fail(fmt.Errorf("client %d round %d: %w", w, round, err))
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	for _, cl := range closers {
+		if err := cl(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return BatchReadResult{}, firstErr
+	}
+	if err := setup.DeleteList(lid, ld.NilList); err != nil {
+		return BatchReadResult{}, err
+	}
+	if err := setup.Flush(ld.FailPower); err != nil {
+		return BatchReadResult{}, err
+	}
+	total := int64(cfg.Clients) * int64(cfg.Rounds) * int64(cfg.Blocks)
+	return BatchReadResult{
+		Name:    name,
+		Batched: batched,
+		Clients: cfg.Clients,
+		Blocks:  total,
+		Bytes:   total * int64(cfg.BlockSize),
+		Seconds: elapsed,
+	}, nil
+}
+
+// RunBatchReadComparison runs the same scan per-block and then batched and
+// returns both results; the ratio of their rates is the round-trip
+// amortization win.
+func RunBatchReadComparison(name string, open OpenFunc, cfg BatchReadConfig) (perBlock, batched BatchReadResult, err error) {
+	perBlock, err = RunBatchRead(name, open, cfg, false)
+	if err != nil {
+		return perBlock, batched, err
+	}
+	batched, err = RunBatchRead(name, open, cfg, true)
+	return perBlock, batched, err
+}

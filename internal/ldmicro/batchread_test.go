@@ -1,0 +1,127 @@
+package ldmicro_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ld"
+	"repro/internal/ldmicro"
+	"repro/internal/netld/client"
+	"repro/internal/netld/faultconn"
+	"repro/internal/netld/server"
+)
+
+// newBatchNetOpen is newBenchNetOpen with a roomy frame budget on both
+// ends (1 MiB), so a whole batch reply crosses in one frame instead of
+// being re-chunked into per-block-sized frames — the faultconn delay is
+// charged per I/O call, so the frame count is what a slow link prices.
+func newBatchNetOpen(tb testing.TB, linkDelay time.Duration) ldmicro.OpenFunc {
+	tb.Helper()
+	l := newBenchLLD(tb)
+	srv := server.New(server.Config{Disk: l, MaxFrame: 1 << 20})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Skipf("loopback unavailable: %v", err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	tb.Cleanup(func() { srv.Close() })
+	var seed int64
+	return func() (ld.Disk, func() error, error) {
+		seed++
+		mySeed := seed
+		dial := func() (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			// The first open is the setup handle; it gets a fast link so
+			// working-set preparation stays out of the measured regime.
+			if err != nil || linkDelay == 0 || mySeed == 1 {
+				return c, err
+			}
+			return faultconn.Wrap(c, faultconn.Config{
+				Seed:      mySeed,
+				DelayProb: 1,
+				MaxDelay:  linkDelay,
+			}), nil
+		}
+		c, err := client.New(dial, client.Options{MaxFrame: 1 << 20})
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c.Close, nil
+	}
+}
+
+// TestRunBatchReadModes checks both scan modes verify payloads and agree
+// on accounting, in-process and over netld.
+func TestRunBatchReadModes(t *testing.T) {
+	cfg := ldmicro.BatchReadConfig{Clients: 2, Blocks: 32, Rounds: 2}
+	for _, tc := range []struct {
+		name string
+		open ldmicro.OpenFunc
+	}{
+		{"local", ldmicro.SingleHandle(newBenchLLD(t))},
+		{"netld", newBatchNetOpen(t, 0)},
+	} {
+		per, batched, err := ldmicro.RunBatchReadComparison(tc.name, tc.open, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := int64(cfg.Clients * cfg.Blocks * cfg.Rounds)
+		if per.Blocks != want || batched.Blocks != want {
+			t.Fatalf("%s: accounting %d/%d blocks, want %d", tc.name, per.Blocks, batched.Blocks, want)
+		}
+	}
+}
+
+// TestBatchedReadSlowLinkSpeedup is the tentpole's acceptance bar: on a
+// simulated slow link, the batched scan must beat the per-block scan by
+// at least 3x — it spends 2 round trips per sweep where the per-block
+// path spends N.
+func TestBatchedReadSlowLinkSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-regime timing test")
+	}
+	open := newBatchNetOpen(t, time.Millisecond)
+	per, batched, err := ldmicro.RunBatchReadComparison("slow-link", open, ldmicro.BatchReadConfig{
+		Clients: 1,
+		Blocks:  64,
+		Rounds:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := batched.BlocksPerSec() / per.BlocksPerSec()
+	t.Logf("per-block: %.0f blocks/s, batched: %.0f blocks/s, speedup %.1fx",
+		per.BlocksPerSec(), batched.BlocksPerSec(), speedup)
+	if speedup < 3 {
+		t.Fatalf("batched speedup %.2fx on slow link, want >= 3x", speedup)
+	}
+}
+
+// BenchmarkConcurrentNetSlowLinkBatched is the batched variant of
+// BenchmarkConcurrentNetSlowLink's read path: whole-working-set scans over
+// the same ~0.5ms-mean per-I/O delayed links, per-block versus batched.
+func BenchmarkConcurrentNetSlowLinkBatched(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		batched bool
+	}{{"perblock", false}, {"batched", true}} {
+		for _, clients := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				open := newBatchNetOpen(b, time.Millisecond)
+				cfg := ldmicro.BatchReadConfig{Clients: clients, Blocks: 64, Rounds: 4}
+				var rate float64
+				for i := 0; i < b.N; i++ {
+					r, err := ldmicro.RunBatchRead(mode.name, open, cfg, mode.batched)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rate = r.BlocksPerSec()
+				}
+				b.ReportMetric(rate, "blocks/s")
+			})
+		}
+	}
+}

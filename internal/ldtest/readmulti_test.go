@@ -1,0 +1,184 @@
+// Batched-read equivalence: ld.ReadBlocks must be observationally
+// identical to the same sequence of Read calls — byte-for-byte data,
+// per-entry counts, and per-entry error classes, including missing
+// (ErrBadBlock) and corrupt (ErrCorrupt) entries — for every batching
+// implementation: the LLD shared-lock fast path, the netld OpReadMulti
+// wire path, and the generic per-block fallback.
+package ldtest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
+	"repro/internal/netld/server"
+)
+
+// hideMulti hides a disk's MultiReadDisk implementation, forcing
+// ld.ReadBlocks onto the generic sequential fallback.
+type hideMulti struct{ ld.Disk }
+
+// batchDisk is one disk under equivalence test plus the backing media to
+// corrupt.
+type batchDisk struct {
+	name string
+	d    ld.Disk
+	dsk  *disk.Disk
+}
+
+func newBatchDisks(t *testing.T) []batchDisk {
+	t.Helper()
+	build := func() (ld.Disk, *disk.Disk, lld.Options) {
+		d := disk.New(disk.DefaultConfig(8 << 20))
+		o := lld.DefaultOptions()
+		o.SegmentSize = 64 * 1024
+		o.SummarySize = 8 * 1024
+		if err := lld.Format(d, o); err != nil {
+			t.Fatal(err)
+		}
+		l, err := lld.Open(d, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, d, o
+	}
+
+	l1, d1, _ := build()
+	l2, d2, _ := build()
+
+	l3, d3, o3 := build()
+	srv := server.New(server.Config{
+		Disk:   l3,
+		Reopen: func() (ld.Disk, error) { return lld.Open(d3, o3) },
+	})
+	t.Cleanup(func() { srv.Close() })
+	c, err := client.New(func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go srv.ServeConn(sv)
+		return cl, nil
+	}, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	return []batchDisk{
+		{name: "lld", d: l1, dsk: d1},
+		{name: "fallback(lld)", d: hideMulti{l2}, dsk: d2},
+		{name: "netld(lld)", d: c, dsk: d3},
+	}
+}
+
+// sentinelClass maps an error to the ld sentinel it unwraps to, so error
+// equivalence compares classes rather than message strings (the wire
+// drops per-entry messages by design).
+func sentinelClass(err error) string {
+	switch {
+	case err == nil:
+		return "nil"
+	case errors.Is(err, ld.ErrBadBlock):
+		return "ErrBadBlock"
+	case errors.Is(err, ld.ErrCorrupt):
+		return "ErrCorrupt"
+	case errors.Is(err, ld.ErrBadList):
+		return "ErrBadList"
+	case errors.Is(err, ld.ErrShutdown):
+		return "ErrShutdown"
+	default:
+		return "other:" + err.Error()
+	}
+}
+
+// TestReadBlocksLockstepWithSequentialReads builds the same damaged
+// workload on every batching implementation and checks each batch entry
+// against the individual Read it replaces.
+func TestReadBlocksLockstepWithSequentialReads(t *testing.T) {
+	for _, bd := range newBatchDisks(t) {
+		t.Run(bd.name, func(t *testing.T) {
+			d := bd.d
+			lid, err := d.NewList(ld.NilList, ld.ListHints{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(23))
+			const nBlocks = 1000
+			ids := make([]ld.BlockID, 0, nBlocks)
+			prev := ld.NilBlock
+			for i := 0; i < nBlocks; i++ {
+				b, err := d.NewBlock(lid, prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Varied sizes, including an empty block every 97th.
+				size := 4096
+				switch {
+				case i%97 == 0:
+					size = 0
+				case i%13 == 0:
+					size = 1 + rng.Intn(512)
+				}
+				data := make([]byte, size)
+				rng.Read(data)
+				if err := d.Write(b, data); err != nil {
+					t.Fatal(err)
+				}
+				ids, prev = append(ids, b), b
+			}
+			// Delete one block mid-list: its id must read as ErrBadBlock.
+			deleted := ids[41]
+			if err := d.DeleteBlock(deleted, lid, ids[40]); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Flush(ld.FailPower); err != nil {
+				t.Fatal(err)
+			}
+			// Rot a window of the backing media so some entries corrupt.
+			bd.dsk.CorruptRange(bd.dsk.Capacity()/2, 256<<10, 0x5a)
+
+			// The batch: every block (one now deleted) plus never-valid ids.
+			bs := append([]ld.BlockID{}, ids...)
+			bs = append(bs, ld.NilBlock, 999999, deleted)
+
+			bufsBatch := make([][]byte, len(bs))
+			bufsSeq := make([][]byte, len(bs))
+			for i := range bs {
+				bufsBatch[i] = make([]byte, 4096)
+				bufsSeq[i] = make([]byte, 4096)
+			}
+
+			results, err := ld.ReadBlocks(d, bs, bufsBatch)
+			if err != nil {
+				t.Fatalf("ReadBlocks: %v", err)
+			}
+			if len(results) != len(bs) {
+				t.Fatalf("%d results for %d blocks", len(results), len(bs))
+			}
+
+			classes := map[string]int{}
+			for i, b := range bs {
+				n, seqErr := d.Read(b, bufsSeq[i])
+				got, want := results[i], ld.BlockRead{N: n, Err: seqErr}
+				if gc, wc := sentinelClass(got.Err), sentinelClass(want.Err); gc != wc {
+					t.Fatalf("entry %d (block %d): batch error %s, sequential error %s", i, b, gc, wc)
+				}
+				if got.N != want.N {
+					t.Fatalf("entry %d (block %d): batch n=%d, sequential n=%d", i, b, got.N, want.N)
+				}
+				if !bytes.Equal(bufsBatch[i][:got.N], bufsSeq[i][:want.N]) {
+					t.Fatalf("entry %d (block %d): batch bytes differ from sequential read", i, b)
+				}
+				classes[sentinelClass(got.Err)]++
+			}
+			// The workload must actually exercise the interesting classes.
+			if classes["nil"] == 0 || classes["ErrBadBlock"] < 3 || classes["ErrCorrupt"] == 0 {
+				t.Fatalf("degenerate class split: %v", classes)
+			}
+		})
+	}
+}

@@ -113,6 +113,9 @@ type Stats struct {
 	BlocksWritten    int64
 	BlocksRead       int64
 
+	BatchReads      int64 // ReadBlocks batches served
+	BatchReadBlocks int64 // blocks served through ReadBlocks
+
 	CompressedBlocks int64
 	CompressInBytes  int64
 	CompressOutBytes int64
@@ -273,8 +276,11 @@ type LLD struct {
 	readBufs sync.Pool
 }
 
-// compile-time interface check.
-var _ ld.Disk = (*LLD)(nil)
+// compile-time interface checks.
+var (
+	_ ld.Disk          = (*LLD)(nil)
+	_ ld.MultiReadDisk = (*LLD)(nil)
+)
 
 // Format initializes an LLD layout on the disk: superblock, empty
 // checkpoint slots, and invalidated segment summaries. Any previous
@@ -429,7 +435,8 @@ func (l *LLD) nextTS() uint64 {
 // Stats returns a copy of the accumulated statistics.
 //
 // The counters touched by the shared-lock read path (BlocksRead,
-// UserBytesRead, and recovery's sweep counter) are updated with atomic
+// UserBytesRead, BatchReads, BatchReadBlocks, and recovery's sweep
+// counter) are updated with atomic
 // adds; everything else is written under the exclusive lock. Stats takes
 // the exclusive lock, which orders it after every concurrent reader, so a
 // plain struct copy is sound.

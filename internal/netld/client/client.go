@@ -34,6 +34,11 @@ import (
 // have executed on the server, and the client will not guess.
 var ErrConnLost = errors.New("netld: connection lost")
 
+// NoRetries disables retries when assigned to Options.Retries. The zero
+// value of Retries means "default" (3), so "no retries" needs an explicit
+// sentinel; any negative value works, this name says what it means.
+const NoRetries = -1
+
 // Options configure a Client. The zero value gets sane defaults.
 type Options struct {
 	// DialTimeout bounds connection establishment. Default 5s.
@@ -41,16 +46,23 @@ type Options struct {
 	// OpTimeout bounds the wait for a single response. Default 30s.
 	OpTimeout time.Duration
 	// Retries is the number of retry attempts (beyond the first try) for
-	// idempotent operations and failed dials. Default 3.
+	// idempotent operations and failed dials. The zero value means the
+	// default of 3; use NoRetries (or any negative value) to disable
+	// retries entirely.
 	Retries int
-	// Backoff is the first retry delay; it doubles per attempt.
-	// Default 10ms.
+	// Backoff is the first retry delay; it doubles per attempt, capped
+	// at MaxBackoff. Default 10ms.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential retry delay. Default 2s.
+	MaxBackoff time.Duration
 	// MaxFrame bounds response frame sizes. Defaults to the handshake's
 	// max block size plus slack.
 	MaxFrame int
 }
 
+// withDefaults resolves the zero-value defaults. It is idempotent, so an
+// already-resolved Options passes through unchanged — NoRetries must not
+// turn back into the default on a second pass.
 func (o Options) withDefaults() Options {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
@@ -58,15 +70,43 @@ func (o Options) withDefaults() Options {
 	if o.OpTimeout <= 0 {
 		o.OpTimeout = 30 * time.Second
 	}
-	if o.Retries < 0 {
-		o.Retries = 0
-	} else if o.Retries == 0 {
+	if o.Retries == 0 {
 		o.Retries = 3
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 10 * time.Millisecond
 	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
 	return o
+}
+
+// retries returns the effective retry count: negative (NoRetries) means 0.
+func (o Options) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+// retryDelay returns the backoff before retry attempt (attempt >= 1):
+// Backoff doubled per attempt, clamped to MaxBackoff. The loop guards
+// against shift overflow — with large retry counts a plain
+// Backoff << (attempt-1) wraps negative and time.Sleep returns
+// immediately, turning backoff into a hot retry loop.
+func (o Options) retryDelay(attempt int) time.Duration {
+	d := o.Backoff
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d <= 0 || d >= o.MaxBackoff {
+			return o.MaxBackoff
+		}
+	}
+	if d > o.MaxBackoff {
+		return o.MaxBackoff
+	}
+	return d
 }
 
 // Client is a remote ld.Disk. It is safe for concurrent use.
@@ -77,20 +117,28 @@ type Client struct {
 	nextID atomic.Uint64
 	shut   atomic.Bool
 
-	mu       sync.Mutex // guards cur and dials
+	mu       sync.Mutex // guards cur; dials and maxBlock are atomic
 	cur      *conn
 	dials    atomic.Uint64
 	maxBlock atomic.Int64
+
+	// noMulti latches on when the server rejects OpReadMulti as a
+	// protocol error (an older server); ReadBlocks then degrades to
+	// sequential per-block reads for the rest of the client's life.
+	noMulti atomic.Bool
 }
 
 var _ ld.Disk = (*Client)(nil)
 
 // Dial connects to a netld server over TCP and performs the handshake.
 func Dial(addr string, o Options) (*Client, error) {
+	// Resolve defaults once and hand the resolved copy to New (which
+	// re-resolves idempotently), so the dial closure's DialTimeout can
+	// never diverge from the client's own options.
 	oo := o.withDefaults()
 	return New(func() (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, oo.DialTimeout)
-	}, o)
+	}, oo)
 }
 
 // New builds a Client over a custom transport; dial is called for the
@@ -190,14 +238,25 @@ func (cn *conn) readLoop() {
 			cn.fail(err)
 			return
 		}
+		// A CodePartial frame is a continuation: more frames for this
+		// request follow, so its pending entry stays registered.
 		cn.pmu.Lock()
 		ch, ok := cn.pending[id]
-		if ok {
+		if ok && status != wire.CodePartial {
 			delete(cn.pending, id)
 		}
 		cn.pmu.Unlock()
 		if ok {
-			ch <- response{status: status, body: body}
+			select {
+			case ch <- response{status: status, body: body}:
+			default:
+				// The waiter's channel is sized for the largest legal
+				// response; overflowing it means the server sent more
+				// frames than the request allows, and the stream can no
+				// longer be trusted.
+				cn.fail(fmt.Errorf("%w: response overrun for request %d", wire.ErrProto, id))
+				return
+			}
 		}
 	}
 }
@@ -220,10 +279,11 @@ func (cn *conn) fail(err error) {
 	}
 }
 
-// register adds a pending request; it fails if the connection is already
-// dead.
-func (cn *conn) register(id uint64) (chan response, error) {
-	ch := make(chan response, 1)
+// register adds a pending request whose response channel buffers up to n
+// frames (n > 1 only for multi-frame responses, so the read loop never
+// blocks on a waiter); it fails if the connection is already dead.
+func (cn *conn) register(id uint64, n int) (chan response, error) {
+	ch := make(chan response, n)
 	cn.pmu.Lock()
 	defer cn.pmu.Unlock()
 	if cn.dead {
@@ -253,7 +313,7 @@ func (e *transportError) Unwrap() error { return e.err }
 // when false the operation certainly did not execute and is safe to retry
 // regardless of idempotence.
 func (c *Client) roundTrip(cn *conn, id uint64, req []byte) (resp response, sent bool, err error) {
-	ch, err := cn.register(id)
+	ch, err := cn.register(id, 1)
 	if err != nil {
 		c.dropConn(cn)
 		return response{}, false, &transportError{err}
@@ -291,10 +351,10 @@ func (c *Client) call(op uint8, body []byte, idempotent bool) ([]byte, error) {
 		return nil, ld.ErrShutdown
 	}
 	var lastErr error
-	attempts := 1 + c.o.Retries
+	attempts := 1 + c.o.retries()
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.o.Backoff << (attempt - 1))
+			time.Sleep(c.o.retryDelay(attempt))
 		}
 		c.mu.Lock()
 		cn, err := c.connLocked()

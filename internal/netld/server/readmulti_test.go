@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/ld"
+	"repro/internal/netld/wire"
+)
+
+// rpcMulti performs one OpReadMulti exchange, collecting CodePartial
+// frames until the final status arrives.
+func rpcMulti(t *testing.T, c net.Conn, id uint64, body []byte) (finalStatus uint8, chunks [][]byte, finalBody []byte) {
+	t.Helper()
+	req := wire.AppendRequestHeader(nil, id, wire.OpReadMulti)
+	req = append(req, body...)
+	if err := wire.WriteFrame(c, req); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		p, err := wire.ReadFrame(c, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotID, status, respBody, err := wire.ParseResponseHeader(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotID != id {
+			t.Fatalf("response id %d for request %d", gotID, id)
+		}
+		if status == wire.CodePartial {
+			chunks = append(chunks, append([]byte(nil), respBody...))
+			continue
+		}
+		return status, chunks, respBody
+	}
+}
+
+// collectEntries decodes a chunk sequence, checking index continuity.
+func collectEntries(t *testing.T, chunks [][]byte) []wire.ReadMultiEntry {
+	t.Helper()
+	var out []wire.ReadMultiEntry
+	for _, chunk := range chunks {
+		first, entries, err := wire.ParseReadMultiChunk(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != len(out) {
+			t.Fatalf("chunk firstIndex %d, want %d", first, len(out))
+		}
+		out = append(out, entries...)
+	}
+	return out
+}
+
+func TestReadMultiBasic(t *testing.T) {
+	backend, reopen := newBackend(t)
+	s := New(Config{Disk: backend, Reopen: reopen})
+	c := start(t, s)
+	handshake(t, c)
+
+	lid, err := backend.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []ld.BlockID
+	pred := ld.NilBlock
+	payloads := []string{"alpha", "", "gamma-somewhat-longer"}
+	for _, p := range payloads {
+		b, err := backend.NewBlock(lid, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := backend.Write(b, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		ids, pred = append(ids, b), b
+	}
+
+	// One missing block in the middle must degrade only its own entry.
+	req := []ld.BlockID{ids[0], 9999, ids[1], ids[2]}
+	status, chunks, final := rpcMulti(t, c, 1, wire.AppendReadMultiReq(nil, 0, 64, req))
+	if status != wire.StatusOK {
+		t.Fatalf("status %d: %s", status, final)
+	}
+	entries := collectEntries(t, append(chunks, final))
+	if len(entries) != len(req) {
+		t.Fatalf("%d entries, want %d", len(entries), len(req))
+	}
+	want := []struct {
+		status uint8
+		data   string
+	}{
+		{wire.StatusOK, "alpha"},
+		{wire.CodeBadBlock, ""},
+		{wire.StatusOK, ""},
+		{wire.StatusOK, "gamma-somewhat-longer"},
+	}
+	for i, w := range want {
+		if entries[i].Status != w.status || string(entries[i].Data) != w.data {
+			t.Fatalf("entry %d: status %d data %q, want status %d data %q",
+				i, entries[i].Status, entries[i].Data, w.status, w.data)
+		}
+	}
+}
+
+func TestReadMultiRequestValidation(t *testing.T) {
+	backend, _ := newBackend(t)
+	// A roomy inbound frame limit so the oversized batch reaches the
+	// count validation instead of dying at the frame reader.
+	s := New(Config{Disk: backend, MaxFrame: 1 << 20})
+	c := start(t, s)
+	handshake(t, c)
+
+	// Empty batch.
+	status, _, body := rpcMulti(t, c, 1, wire.AppendReadMultiReq(nil, 0, 64, nil))
+	if status != wire.CodeProto {
+		t.Fatalf("empty batch: status %d (%s)", status, body)
+	}
+	// Oversized batch.
+	huge := make([]ld.BlockID, wire.MaxReadBatch+1)
+	status, _, body = rpcMulti(t, c, 2, wire.AppendReadMultiReq(nil, 0, 64, huge))
+	if status != wire.CodeProto {
+		t.Fatalf("oversized batch: status %d (%s)", status, body)
+	}
+	// Per-block buffer larger than the frame limit, mirroring OpRead.
+	status, _, body = rpcMulti(t, c, 3, wire.AppendReadMultiReq(nil, 0, s.maxFrame+1, []ld.BlockID{1}))
+	if status != wire.CodeProto {
+		t.Fatalf("oversized bufLen: status %d (%s)", status, body)
+	}
+	// A maxReply too small to carry even one block.
+	status, _, body = rpcMulti(t, c, 4, wire.AppendReadMultiReq(nil, 32, 4096, []ld.BlockID{1}))
+	if status != wire.CodeProto {
+		t.Fatalf("tiny maxReply: status %d (%s)", status, body)
+	}
+	// The session survives all of the above.
+	status, body = rpc(t, c, 5, wire.OpLists, nil)
+	if status != wire.StatusOK {
+		t.Fatalf("session dead after proto errors: status %d (%s)", status, body)
+	}
+}
+
+func TestReadMultiChunksToFrameBudget(t *testing.T) {
+	backend, reopen := newBackend(t)
+	// A deliberately small frame limit forces the reply into many chunks.
+	s := New(Config{Disk: backend, Reopen: reopen, MaxFrame: 256})
+	c := start(t, s)
+	handshake(t, c)
+
+	lid, err := backend.NewList(ld.NilList, ld.ListHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nBlocks, blockSize = 20, 64
+	ids := make([]ld.BlockID, nBlocks)
+	pred := ld.NilBlock
+	for i := range ids {
+		b, err := backend.NewBlock(lid, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, blockSize)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		if err := backend.Write(b, payload); err != nil {
+			t.Fatal(err)
+		}
+		ids[i], pred = b, b
+	}
+
+	status, chunks, final := rpcMulti(t, c, 1, wire.AppendReadMultiReq(nil, 256, blockSize, ids))
+	if status != wire.StatusOK {
+		t.Fatalf("status %d: %s", status, final)
+	}
+	if len(chunks) == 0 {
+		t.Fatal("reply fit one frame; expected chunked continuation")
+	}
+	// Every frame (9-byte response header + body) respects the budget.
+	for i, chunk := range append(chunks, final) {
+		if 9+len(chunk) > 256 {
+			t.Fatalf("chunk %d frame size %d exceeds budget 256", i, 9+len(chunk))
+		}
+	}
+	entries := collectEntries(t, append(chunks, final))
+	if len(entries) != nBlocks {
+		t.Fatalf("%d entries, want %d", len(entries), nBlocks)
+	}
+	for i, e := range entries {
+		if e.Status != wire.StatusOK || len(e.Data) != blockSize || e.Data[0] != byte(i) {
+			t.Fatalf("entry %d: status %d len %d", i, e.Status, len(e.Data))
+		}
+	}
+	if got := s.Stats().ReadMultiChunks; got < 2 {
+		t.Fatalf("ReadMultiChunks stat %d, want >= 2", got)
+	}
+}

@@ -121,6 +121,7 @@ type Stats struct {
 	ARUAborts        uint64 // dangling ARUs aborted via crash-recovery
 	ARUForcedCommits uint64 // dangling ARUs committed (no Reopen hook)
 	ProtoErrors      uint64
+	ReadMultiChunks  uint64 // frames used by ReadMulti replies that needed splitting
 	Ops              map[string]OpStats // keyed by method name
 }
 
@@ -270,19 +271,37 @@ func (s *Server) ServeConn(c net.Conn) {
 			return
 		}
 		start := time.Now()
-		respBody, opErr := s.handle(sess, op, body)
+		var chunks [][]byte // non-final CodePartial bodies (OpReadMulti only)
+		var respBody []byte
+		var opErr error
+		if op == wire.OpReadMulti {
+			chunks, respBody, opErr = s.readMulti(body)
+		} else {
+			respBody, opErr = s.handle(sess, op, body)
+		}
 		s.record(op, opErr, time.Since(start))
 
-		out = wire.AppendResponseHeader(out[:0], id, wire.CodeFor(opErr))
-		if opErr != nil {
-			out = append(out, opErr.Error()...)
-		} else {
-			out = append(out, respBody...)
-		}
-		if err := wire.WriteFrame(c, out); err != nil {
-			if !s.quietErr(err) {
-				s.logf("netld/server: write to %v: %v", c.RemoteAddr(), err)
+		writeFrame := func(status uint8, body []byte) bool {
+			out = wire.AppendResponseHeader(out[:0], id, status)
+			out = append(out, body...)
+			if err := wire.WriteFrame(c, out); err != nil {
+				if !s.quietErr(err) {
+					s.logf("netld/server: write to %v: %v", c.RemoteAddr(), err)
+				}
+				return false
 			}
+			return true
+		}
+		for _, chunk := range chunks {
+			if !writeFrame(wire.CodePartial, chunk) {
+				return
+			}
+		}
+		if opErr != nil {
+			if !writeFrame(wire.CodeFor(opErr), []byte(opErr.Error())) {
+				return
+			}
+		} else if !writeFrame(wire.StatusOK, respBody) {
 			return
 		}
 		if op == wire.OpShutdown && opErr == nil {
@@ -527,6 +546,89 @@ func (s *Server) handle(sess *session, op uint8, body []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %d", wire.ErrProto, op)
 	}
+}
+
+// readMulti executes one OpReadMulti batch. It returns the CodePartial
+// chunk bodies to send before the final frame, the final chunk body, and
+// the whole-batch error (which discards any chunks). Reads are not fenced
+// by another session's ARU, matching OpRead.
+//
+// The reply is split so every frame fits the smaller of the server's own
+// frame limit and the client's advertised maxReply. Per-block failures
+// (missing, corrupt) become per-entry status codes; only malformed
+// requests or a failing disk fail the batch.
+func (s *Server) readMulti(body []byte) (chunks [][]byte, final []byte, err error) {
+	maxReply, bufLen, ids, err := wire.ParseReadMultiReq(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bufLen > s.maxFrame {
+		return nil, nil, fmt.Errorf("%w: read buffer %d exceeds frame limit", wire.ErrProto, bufLen)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := s.disk
+
+	// No block holds more than the disk's max block size, so a larger
+	// per-block buffer never receives more bytes; clamping bounds the
+	// batch's memory at MaxReadBatch × maxBlockSize.
+	if max := d.MaxBlockSize(); bufLen > max {
+		bufLen = max
+	}
+	budget := s.maxFrame
+	if maxReply > 0 && maxReply < budget {
+		budget = maxReply
+	}
+	// Response header (id + status) rides inside the frame payload.
+	bodyBudget := budget - 9
+	if bodyBudget < wire.ReadMultiChunkOverhead+wire.ReadMultiEntrySize(bufLen) {
+		return nil, nil, fmt.Errorf("%w: reply budget %d cannot carry a %d-byte read", wire.ErrProto, budget, bufLen)
+	}
+
+	backing := make([]byte, len(ids)*bufLen)
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = backing[i*bufLen : (i+1)*bufLen]
+	}
+	results, err := ld.ReadBlocks(d, ids, bufs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	entries := make([]wire.ReadMultiEntry, len(ids))
+	for i, r := range results {
+		if r.Err != nil {
+			entries[i] = wire.ReadMultiEntry{Status: wire.CodeFor(r.Err)}
+		} else {
+			entries[i] = wire.ReadMultiEntry{Status: wire.StatusOK, Data: bufs[i][:r.N]}
+		}
+	}
+
+	// Greedily pack entries into chunks that respect the body budget.
+	first := 0
+	for first < len(entries) {
+		size := wire.ReadMultiChunkOverhead
+		n := 0
+		for first+n < len(entries) {
+			es := wire.ReadMultiEntrySize(len(entries[first+n].Data))
+			if n > 0 && size+es > bodyBudget {
+				break
+			}
+			size += es
+			n++
+		}
+		chunk := wire.AppendReadMultiChunk(nil, first, entries[first:first+n])
+		chunks = append(chunks, chunk)
+		first += n
+	}
+	if len(chunks) > 1 {
+		s.statMu.Lock()
+		s.stats.ReadMultiChunks += uint64(len(chunks))
+		s.statMu.Unlock()
+	}
+	final = chunks[len(chunks)-1]
+	return chunks[:len(chunks)-1], final, nil
 }
 
 func (s *Server) beginARU(sess *session, body []byte) ([]byte, error) {

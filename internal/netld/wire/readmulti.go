@@ -1,0 +1,120 @@
+// OpReadMulti encoding: one request carries a whole batch of block reads,
+// and the reply comes back as one or more chunk frames so a batch larger
+// than the negotiated frame budget still crosses the wire.
+//
+// Request body:
+//
+//	uint32 maxReply | uint32 bufLen | uint32 count | count × uint32 block id
+//
+// maxReply is the largest response frame the client will accept (0 means
+// "use the server's own limit"); bufLen is the per-block read buffer size,
+// mirroring OpRead's length argument.
+//
+// Response: zero or more frames with status CodePartial followed by exactly
+// one frame with status StatusOK (or an error status whose body is a
+// message, failing the whole batch). Each OK/Partial body is a chunk:
+//
+//	uint32 firstIndex | uint32 n | n × (uint8 status | uint32 len | bytes)
+//
+// Entries appear in request order across chunks; firstIndex is the batch
+// index of the chunk's first entry, so a client can verify no chunk was
+// lost or reordered. A per-entry status of StatusOK carries the block's
+// bytes; any other per-entry status (CodeBadBlock for a missing block,
+// CodeCorrupt for detectably damaged data, ...) degrades that entry alone
+// without failing the batch, and its len is 0.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/ld"
+)
+
+// MaxReadBatch bounds the number of blocks in one OpReadMulti request.
+// Larger batches must be split by the client; the server rejects requests
+// over the bound with CodeProto.
+const MaxReadBatch = 4096
+
+// ReadMultiEntry is one per-block outcome inside a ReadMulti chunk.
+type ReadMultiEntry struct {
+	Status uint8
+	Data   []byte
+}
+
+// ReadMultiChunkOverhead is the fixed chunk body size before any entries
+// (firstIndex + n).
+const ReadMultiChunkOverhead = 8
+
+// ReadMultiEntrySize returns the encoded size of one chunk entry carrying
+// dataLen payload bytes (status byte + u32 length + payload).
+func ReadMultiEntrySize(dataLen int) int { return 5 + dataLen }
+
+// AppendReadMultiReq encodes an OpReadMulti request body.
+func AppendReadMultiReq(buf []byte, maxReply, bufLen int, ids []ld.BlockID) []byte {
+	buf = AppendU32(buf, uint32(maxReply))
+	buf = AppendU32(buf, uint32(bufLen))
+	buf = AppendU32(buf, uint32(len(ids)))
+	for _, b := range ids {
+		buf = AppendBlock(buf, b)
+	}
+	return buf
+}
+
+// ParseReadMultiReq decodes and validates an OpReadMulti request body. An
+// empty or over-MaxReadBatch batch is a protocol error: the former is
+// always a client bug, and the latter would let one request pin an
+// unbounded amount of server memory.
+func ParseReadMultiReq(body []byte) (maxReply, bufLen int, ids []ld.BlockID, err error) {
+	c := NewCursor(body)
+	maxReply = int(c.U32())
+	bufLen = int(c.U32())
+	n := int(c.U32())
+	if c.Err() == nil {
+		if n == 0 {
+			return 0, 0, nil, fmt.Errorf("%w: empty read batch", ErrProto)
+		}
+		if n > MaxReadBatch {
+			return 0, 0, nil, fmt.Errorf("%w: read batch of %d blocks exceeds limit %d", ErrProto, n, MaxReadBatch)
+		}
+	}
+	ids = make([]ld.BlockID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, c.Block())
+	}
+	if err := c.Done(); err != nil {
+		return 0, 0, nil, err
+	}
+	return maxReply, bufLen, ids, nil
+}
+
+// AppendReadMultiChunk encodes one chunk body: the batch index of its
+// first entry, then each entry as status + length-prefixed payload.
+func AppendReadMultiChunk(buf []byte, firstIndex int, entries []ReadMultiEntry) []byte {
+	buf = AppendU32(buf, uint32(firstIndex))
+	buf = AppendU32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = AppendU8(buf, e.Status)
+		buf = AppendBytes(buf, e.Data)
+	}
+	return buf
+}
+
+// ParseReadMultiChunk decodes one chunk body. Entry Data aliases body.
+func ParseReadMultiChunk(body []byte) (firstIndex int, entries []ReadMultiEntry, err error) {
+	c := NewCursor(body)
+	firstIndex = int(c.U32())
+	n := int(c.U32())
+	if c.Err() == nil && n > MaxReadBatch {
+		return 0, nil, fmt.Errorf("%w: read chunk of %d entries exceeds limit %d", ErrProto, n, MaxReadBatch)
+	}
+	entries = make([]ReadMultiEntry, 0, n)
+	for i := 0; i < n; i++ {
+		st := c.U8()
+		data := c.Bytes()
+		entries = append(entries, ReadMultiEntry{Status: st, Data: data})
+	}
+	if err := c.Done(); err != nil {
+		return 0, nil, err
+	}
+	return firstIndex, entries, nil
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ld"
+)
+
+func TestReadMultiReqRoundTrip(t *testing.T) {
+	ids := []ld.BlockID{7, 1, 9999, 7}
+	body := AppendReadMultiReq(nil, 1<<20, 4096, ids)
+	maxReply, bufLen, got, err := ParseReadMultiReq(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxReply != 1<<20 || bufLen != 4096 {
+		t.Fatalf("maxReply %d bufLen %d", maxReply, bufLen)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("got %d ids, want %d", len(got), len(ids))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("id %d: got %d want %d", i, got[i], ids[i])
+		}
+	}
+}
+
+func TestReadMultiReqValidation(t *testing.T) {
+	if _, _, _, err := ParseReadMultiReq(AppendReadMultiReq(nil, 0, 64, nil)); !errors.Is(err, ErrProto) {
+		t.Fatalf("empty batch: want ErrProto, got %v", err)
+	}
+	huge := make([]ld.BlockID, MaxReadBatch+1)
+	if _, _, _, err := ParseReadMultiReq(AppendReadMultiReq(nil, 0, 64, huge)); !errors.Is(err, ErrProto) {
+		t.Fatalf("oversized batch: want ErrProto, got %v", err)
+	}
+	// Truncated body.
+	body := AppendReadMultiReq(nil, 0, 64, []ld.BlockID{1, 2, 3})
+	if _, _, _, err := ParseReadMultiReq(body[:len(body)-2]); !errors.Is(err, ErrProto) {
+		t.Fatalf("truncated body: want ErrProto, got %v", err)
+	}
+}
+
+func TestReadMultiChunkRoundTrip(t *testing.T) {
+	entries := []ReadMultiEntry{
+		{Status: StatusOK, Data: []byte("alpha")},
+		{Status: CodeBadBlock},
+		{Status: StatusOK, Data: nil}, // zero-length block
+		{Status: CodeCorrupt},
+	}
+	body := AppendReadMultiChunk(nil, 17, entries)
+	first, got, err := ParseReadMultiChunk(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 17 {
+		t.Fatalf("firstIndex %d, want 17", first)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("%d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		if got[i].Status != e.Status || string(got[i].Data) != string(e.Data) {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], e)
+		}
+	}
+	if len(body) != ReadMultiChunkOverhead+ReadMultiEntrySize(5)+ReadMultiEntrySize(0)*3 {
+		t.Fatalf("encoded size %d disagrees with size helpers", len(body))
+	}
+}
+
+func TestReadMultiOpcodeNamed(t *testing.T) {
+	if OpName(OpReadMulti) != "ReadMulti" {
+		t.Fatalf("OpName(OpReadMulti) = %q", OpName(OpReadMulti))
+	}
+	if int(OpReadMulti) >= NumOps {
+		t.Fatal("OpReadMulti outside NumOps")
+	}
+}

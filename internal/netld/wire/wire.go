@@ -74,6 +74,7 @@ const (
 	OpLists
 	OpBlockSize
 	OpShutdown
+	OpReadMulti
 	opMax
 )
 
@@ -98,6 +99,7 @@ var opNames = [opMax]string{
 	OpLists:             "Lists",
 	OpBlockSize:         "BlockSize",
 	OpShutdown:          "Shutdown",
+	OpReadMulti:         "ReadMulti",
 }
 
 // OpName returns the method name for an opcode, or "op<N>" if unknown.
@@ -130,6 +132,7 @@ const (
 	CodeProto    // protocol violation (bad opcode, short body, ...)
 	CodeInternal // unclassified server-side error
 	CodeCorrupt  // data failed integrity verification (ld.ErrCorrupt)
+	CodePartial  // non-final chunk of a multi-frame response; more follow
 )
 
 // Errors specific to the netld protocol layer.
