@@ -352,6 +352,11 @@ func main() {
 	stripeBench := flag.Bool("stripe", false, "run the striped-backend throughput sweep (virtual clock, 1/2/4/8 legs)")
 	mirrorBench := flag.Bool("mirror", false, "run the mirrored-backend overhead sweep (virtual clock, 1/2/3 replicas)")
 	mdiskBytes := flag.Int64("mdisk-bytes", 8<<20, "bytes moved per phase in the -stripe/-mirror sweeps")
+	tortureSmoke := flag.Bool("torture", false, "run the bounded power-failure torture smoke (all topologies)")
+	tortureSeed := flag.Int64("torture-seed", 1, "master seed for -torture")
+	tortureOps := flag.Int("torture-ops", 160, "workload length per crash point for -torture")
+	torturePoints := flag.Int("torture-points", 40, "max crash points per topology for -torture (0 = all)")
+	tortureReplay := flag.String("torture-replay", "", "replay one torture reproducer line and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldbench [-scale N] [-list] <experiment>... | all\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -remote addr | -micro   (LD microbenchmarks)\n")
@@ -360,12 +365,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "       ldbench -cleanbench [-clean-ops N]   (cleaner writer-stall quantiles)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -scrubbench [-scrub-ops N]   (background-scrubber overhead)\n")
 		fmt.Fprintf(os.Stderr, "       ldbench -shardbench [-shard-ops N]   (write scaling vs map-shard count)\n")
-		fmt.Fprintf(os.Stderr, "       ldbench -stripe | -mirror [-mdisk-bytes N]   (multi-disk throughput, virtual clock)\n\nExperiments:\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -stripe | -mirror [-mdisk-bytes N]   (multi-disk throughput, virtual clock)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -torture [-torture-seed N] [-torture-points N]   (power-failure torture smoke)\n")
+		fmt.Fprintf(os.Stderr, "       ldbench -torture-replay \"seed=... point=...\"   (replay one torture reproducer)\n\nExperiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", e.ID, e.Title)
 		}
 	}
 	flag.Parse()
+
+	if *tortureReplay != "" {
+		if err := runTortureReplay(*tortureReplay); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tortureSmoke {
+		if err := runTortureSmoke(*tortureSeed, *tortureOps, *torturePoints); err != nil {
+			fmt.Fprintf(os.Stderr, "ldbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stripeBench || *mirrorBench {
 		if err := runMultiDisk(*stripeBench, *mirrorBench, *mdiskBytes); err != nil {

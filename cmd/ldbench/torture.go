@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/torture"
+)
+
+// runTortureReplay re-executes a single reproducer line printed by a
+// failing torture run (or CI log) and reports whether the recovered
+// state verifies now.
+func runTortureReplay(repro string) error {
+	fmt.Printf("replaying: %s\n", repro)
+	if err := torture.Replay(repro); err != nil {
+		return err
+	}
+	fmt.Println("replay: recovered state verified clean")
+	return nil
+}
+
+// runTortureSmoke is the bounded power-failure torture smoke: every
+// standard topology at one seed, with the per-run crash-point count
+// capped so the whole sweep stays CI-sized. Failures print the
+// replayable reproducer line and fail the run.
+func runTortureSmoke(seed int64, ops, maxPoints int) error {
+	failures := 0
+	for _, cfg := range torture.DefaultConfigs(seed) {
+		cfg.Ops = ops
+		cfg.MaxPoints = maxPoints
+		res, err := torture.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("torture %s: %w", cfg.Kind, err)
+		}
+		status := "ok"
+		if len(res.Failures) > 0 {
+			status = fmt.Sprintf("FAIL (%d)", len(res.Failures))
+		}
+		fmt.Printf("torture %-8s seed=%d points=%d (sector=%d op=%d site=%d rebuild=%d)  %s\n",
+			cfg.Kind, seed, res.Points,
+			res.ByKind[torture.PointSector], res.ByKind[torture.PointOp],
+			res.ByKind[torture.PointSite], res.ByKind[torture.PointRebuild],
+			status)
+		for _, f := range res.Failures {
+			failures++
+			fmt.Fprintf(os.Stderr, "torture FAILURE: %v\n  reproduce with: ldbench -torture-replay %q\n", f.Err, f.Repro)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("torture: %d crash points failed verification", failures)
+	}
+	fmt.Println("torture: all crash points recovered and verified")
+	return nil
+}

@@ -92,6 +92,8 @@ func main() {
 		"serve from an N-leg stripe; with -img the legs are <img>.0 … <img>.N-1")
 	rebuildStep := flag.Int("rebuild-step", 8,
 		"chunks the online rebuild of a missing mirror replica copies per lock acquisition")
+	idleTimeout := flag.Duration("idle-timeout", 0,
+		"disconnect a client that sends no request for this long (0 = never); an ARU left open by an idled-out client is aborted")
 	quiet := flag.Bool("q", false, "suppress per-event logging")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ldserver [flags]\n\nFlags:\n")
@@ -184,9 +186,10 @@ requests, checkpoints the LLD, and prints a per-opcode latency table
 		}
 	}
 	srv := server.New(server.Config{
-		Disk:   l,
-		Reopen: func() (ld.Disk, error) { return lld.Open(bk.be, opts) },
-		Logf:   logf,
+		Disk:        l,
+		Reopen:      func() (ld.Disk, error) { return lld.Open(bk.be, opts) },
+		Logf:        logf,
+		IdleTimeout: *idleTimeout,
 	})
 
 	// Missing mirror replicas re-silver online while clients are served;

@@ -10,8 +10,12 @@ import (
 // lld can run over any store: a single simulated platter, a striped
 // array, or a mirrored pair (internal/mdisk). Implementations must
 // enforce the same contract *Disk does: offsets and lengths are
-// sector-aligned, out-of-range accesses error, and WriteAt is durable
-// when it returns.
+// sector-aligned and out-of-range accesses error. WriteAt is durable
+// when it returns unless the backend also implements Syncer — then an
+// acknowledged write may sit in a volatile cache until the next Sync,
+// WriteAtNVRAM barrier, or power loss (WBCache models exactly that),
+// and callers that are about to destroy the last durable copy of
+// something must Sync first.
 type Backend interface {
 	// ReadAt fills p from the sectors starting at byte offset off.
 	ReadAt(p []byte, off int64) error

@@ -1,0 +1,209 @@
+// Long-run power-failure torture: the full crash-point sweep per
+// topology (the bounded smokes live in internal/torture itself), plus a
+// netld server power-loss test — the server process dies mid-ARU together
+// with the platter's volatile write cache, and the reopened store must
+// have aborted the unit.
+package ldtest
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/lld"
+	"repro/internal/netld/client"
+	"repro/internal/netld/server"
+	"repro/internal/torture"
+)
+
+// runTorture executes every enumerated crash point for one config and
+// reports each failure with its reproducer line.
+func runTorture(t *testing.T, cfg torture.Config) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full crash-point sweep")
+	}
+	cfg.Logf = t.Logf
+	res, err := torture.Run(cfg)
+	if err != nil {
+		t.Fatalf("torture run: %v", err)
+	}
+	if res.Points == 0 && cfg.Kind != torture.KindReclaim {
+		t.Fatal("no crash points enumerated")
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash point failed verification:\n  %s\n  %v", f.Repro, f.Err)
+	}
+}
+
+func TestTortureLLDFull(t *testing.T) {
+	runTorture(t, torture.Config{Kind: torture.KindLLD, Seed: 42})
+}
+
+func TestTortureStripeFull(t *testing.T) {
+	runTorture(t, torture.Config{Kind: torture.KindStripe, Legs: 3, Seed: 42})
+}
+
+func TestTortureMirrorFull(t *testing.T) {
+	runTorture(t, torture.Config{Kind: torture.KindMirror, Legs: 2, Seed: 42})
+}
+
+func TestTortureReclaimFull(t *testing.T) {
+	// The damage search is seed-sensitive; sweep a few so at least one
+	// produces a quarantined image to reclaim through.
+	for _, seed := range []int64{2, 42, 43, 44} {
+		runTorture(t, torture.Config{Kind: torture.KindReclaim, Seed: seed})
+	}
+}
+
+func TestTortureRebuildFull(t *testing.T) {
+	runTorture(t, torture.Config{Kind: torture.KindRebuild, Seed: 42})
+}
+
+// TestNetLDServerPowerLoss kills the netld server process together with
+// the power rail under its platter at successive depths inside an open
+// ARU. On reopen the unit's effects must be gone (all-or-nothing), the
+// pre-ARU committed state must be intact, and a fresh server over the
+// recovered disk must accept a new ARU.
+func TestNetLDServerPowerLoss(t *testing.T) {
+	valA := bytes.Repeat([]byte{0xA5}, 3000)
+	valB := bytes.Repeat([]byte{0x5A}, 3000)
+	filler := bytes.Repeat([]byte{0x3C}, 3900)
+
+	for stage := 0; stage <= 3; stage++ {
+		rail := disk.NewRail()
+		cache := disk.NewWBCache(disk.New(disk.DefaultConfig(4<<20)), rail)
+		o := lld.DefaultOptions()
+		// Small segments so the mid-ARU writes force seals: the
+		// uncommitted records reach the platter and recovery must
+		// discard them, not merely lose them with the cache.
+		o.SegmentSize = 32 * 1024
+		o.SummarySize = 4 * 1024
+		o.MaxBlockSize = 4096
+		o.CompressBandwidth = 0
+		if err := lld.Format(cache, o); err != nil {
+			t.Fatal(err)
+		}
+		l, err := lld.Open(cache, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(server.Config{
+			Disk:   l,
+			Reopen: func() (ld.Disk, error) { return lld.Open(cache, o) },
+		})
+		dial := func() (net.Conn, error) {
+			cl, sv := net.Pipe()
+			go srv.ServeConn(sv)
+			return cl, nil
+		}
+		c, err := client.New(dial, client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Committed prologue.
+		lid, err := c.NewList(ld.NilList, ld.ListHints{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := c.NewBlock(lid, ld.NilBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Write(a, valA); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(ld.FailPower); err != nil {
+			t.Fatal(err)
+		}
+		if err := rail.SyncAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Open an ARU and sink `stage` operations into it.
+		if err := c.BeginARU(); err != nil {
+			t.Fatal(err)
+		}
+		var ghost ld.BlockID
+		ops := []func() error{
+			func() error { return c.Write(a, valB) },
+			func() error {
+				var err error
+				ghost, err = c.NewBlock(lid, a)
+				return err
+			},
+			func() error { return c.Write(ghost, filler) },
+		}
+		for i := 0; i < stage && i < len(ops); i++ {
+			if err := ops[i](); err != nil {
+				t.Fatalf("stage %d op %d: %v", stage, i, err)
+			}
+		}
+
+		// Power loss: the cache drops a seeded subset of unflushed
+		// sectors and the server process dies with it.
+		rail.PowerLoss(1000 + int64(stage))
+		srv.Kill()
+		c.Close()
+
+		rail.Restart()
+		l2, err := lld.Open(cache, o)
+		if err != nil {
+			t.Fatalf("stage %d reopen: %v", stage, err)
+		}
+		if rep := l2.RecoveryReport(); rep.Degraded() {
+			t.Fatalf("stage %d: single clean platter reports degradation: %+v", stage, rep)
+		}
+		srv2 := server.New(server.Config{
+			Disk:   l2,
+			Reopen: func() (ld.Disk, error) { return lld.Open(cache, o) },
+		})
+		dial2 := func() (net.Conn, error) {
+			cl, sv := net.Pipe()
+			go srv2.ServeConn(sv)
+			return cl, nil
+		}
+		c2, err := client.New(dial2, client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		buf := make([]byte, len(valA))
+		n, err := c2.Read(a, buf)
+		if err != nil {
+			t.Fatalf("stage %d: committed block unreadable: %v", stage, err)
+		}
+		if !bytes.Equal(buf[:n], valA) {
+			t.Fatalf("stage %d: committed block lost its pre-ARU value (mid-ARU write leaked)", stage)
+		}
+		if stage >= 2 {
+			ids, err := c2.ListBlocks(lid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range ids {
+				if id == ghost {
+					t.Fatalf("stage %d: block allocated inside the aborted ARU survived", stage)
+				}
+			}
+		}
+		if srv2.HasOpenARU() {
+			t.Fatalf("stage %d: recovered server thinks an ARU is open", stage)
+		}
+		// The recovered store must accept a fresh unit end to end.
+		if err := c2.BeginARU(); err != nil {
+			t.Fatalf("stage %d: BeginARU after recovery: %v", stage, err)
+		}
+		if err := c2.Write(a, valB); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.EndARU(); err != nil {
+			t.Fatal(err)
+		}
+		c2.Close()
+		srv2.Close()
+	}
+}

@@ -133,21 +133,36 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 		plen     int
 		complete bool
 	}
+	parseHead := func(b []byte) (uint64, bool) {
+		if binary.LittleEndian.Uint32(b[0:]) != checkpointMagic || b[20] != 1 {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint64(b[8:]), true
+	}
+	mr, multi := l.dsk.(disk.MultiReader)
 	var candidates []slotInfo
 	for slot := 0; slot < 2; slot++ {
 		off := l.lay.checkpointOff + int64(slot)*l.lay.checkpointSize
-		// On a redundant backend, accept any replica whose header looks
-		// valid; a slot no copy validates is classified from a plain read
-		// (an invalid slot on every replica is just an unused slot).
-		if _, err := l.dskReadVerified(head, off, func(b []byte) bool {
-			return binary.LittleEndian.Uint32(b[0:]) == checkpointMagic && b[20] == 1
-		}); err != nil {
-			if errors.Is(err, disk.ErrNoValidReplica) {
+		// On a redundant backend, adopt the newest valid header across
+		// replicas and heal the rest (metaNewestAcross): a checkpoint that
+		// persisted on a subset of replicas must be seen — and replicated —
+		// not won or lost by replica rotation. A slot no copy validates is
+		// just an unused slot.
+		if multi {
+			found, err := l.metaNewestAcross(mr, head, off, parseHead)
+			if err != nil {
+				if errors.Is(err, disk.ErrNoValidReplica) {
+					continue
+				}
+				return false, false, err
+			}
+			if !found {
 				continue
 			}
+		} else if err := l.dskRead(head, off); err != nil {
 			return false, false, err
 		}
-		if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic || head[20] != 1 {
+		if _, ok := parseHead(head); !ok {
 			continue
 		}
 		ts := binary.LittleEndian.Uint64(head[8:])
@@ -169,8 +184,14 @@ func (l *LLD) loadCheckpoint() (found, complete bool, err error) {
 		off := l.lay.checkpointOff + int64(c.slot)*l.lay.checkpointSize
 		total := (checkpointHeaderSize + c.plen + ss - 1) / ss * ss
 		buf := make([]byte, total)
-		plen := c.plen
+		plen, cts := c.plen, c.ts
+		// Pin the payload read to the candidate's generation: with diverged
+		// replicas the CRC alone would let rotation hand back a different
+		// (older, self-consistent) checkpoint than the header chosen above.
 		verified, err := l.dskReadVerified(buf, off, func(b []byte) bool {
+			if binary.LittleEndian.Uint64(b[8:]) != cts {
+				return false
+			}
 			p := b[checkpointHeaderSize : checkpointHeaderSize+plen]
 			return crc32.Checksum(p, crcTable) == binary.LittleEndian.Uint32(b[4:])
 		})

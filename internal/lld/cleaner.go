@@ -276,11 +276,13 @@ func (l *LLD) cleanSegment(id int) error {
 			return err
 		}
 	}
+	l.crashPoint("clean.moved")
 
 	emittedBefore := l.stats.SnapshotTuples
 	if err := l.relogSummaryFacts(si); err != nil {
 		return err
 	}
+	l.crashPoint("clean.relogged")
 
 	if l.segs[id].live != 0 {
 		return fmt.Errorf("lld: internal: segment %d retains %d live bytes after cleaning", id, l.segs[id].live)
@@ -467,6 +469,12 @@ func (l *LLD) consolidate() error {
 			return err
 		}
 	}
+	// A checkpoint the next boot trusts must not point at coordinates
+	// that are still sitting in a volatile write cache.
+	if err := l.dskSync(); err != nil {
+		return err
+	}
+	l.crashPoint("consolidate")
 	if debugClean {
 		fmt.Printf("CONSOLIDATE ts=%d\n", l.ts)
 	}

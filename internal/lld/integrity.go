@@ -250,6 +250,7 @@ func (l *LLD) scrubOneSegment(seg int, repair bool, res *ScrubResult) error {
 		l.applySetData(bid, l.cur.id, off, int(bi.stored), int(bi.orig), bi.flags&bComp != 0, bi.crc)
 		res.Repaired = append(res.Repaired, bid)
 		l.stats.ScrubRepairs++
+		l.crashPoint("scrub.salvage")
 	}
 	return nil
 }

@@ -99,6 +99,12 @@ type openSegment struct {
 	dirty     bool
 	durableTS uint64 // records at or below this ts reached disk (partial write)
 	slot      int    // summary slot the next durable write targets (ping-pong)
+	// slotSeq[s] is the dskWrite sequence of the summary image this
+	// segment generation last put in slot s (-1 none, 0 written through
+	// NVRAM and so durable on arrival). Overwriting a slot with a
+	// recorded image is gated on the other slot's newer image being
+	// durable (guardSlotOverwrite).
+	slotSeq [2]int64
 }
 
 // Stats counts LLD-level events since Open (or ResetStats).
@@ -216,6 +222,13 @@ type LLD struct {
 	cur     *openSegment
 	aruOpen bool
 
+	// Write-ordering watermark for the volatile-cache overwrite guard
+	// (guardSlotOverwrite): writeSeq counts issued backend writes and
+	// syncedSeq is the highest seq known drained to the platter. A write
+	// with seq at or below syncedSeq is durable.
+	writeSeq  atomic.Int64
+	syncedSeq atomic.Int64
+
 	liveBytes     int64
 	reservedBytes int64
 
@@ -311,6 +324,11 @@ func Format(dsk disk.Backend, opts Options) error {
 				return err
 			}
 		}
+	}
+	// A format must survive power loss on a write-caching backend: half a
+	// format is a disk whose stale summaries can resurrect dead metadata.
+	if s, ok := dsk.(disk.Syncer); ok {
+		return s.Sync()
 	}
 	return nil
 }
@@ -470,7 +488,41 @@ func (l *LLD) dskWrite(p []byte, off int64) error {
 		atomic.AddInt64(&l.stats.ReadRetries, 1)
 		err = l.dsk.WriteAt(p, off)
 	}
+	if err == nil {
+		l.writeSeq.Add(1)
+	}
 	return err
+}
+
+// dskSync drains the backend's volatile write cache, when it has one.
+// The log's ordering does not normally need barriers — recovery sorts
+// records by timestamp and a torn or missing tail only loses the tail —
+// but any step about to destroy the last durable copy of re-homed facts
+// (freeing a cleaned victim, zeroing a quarantined segment's evidence
+// slots, completing a checkpoint the next boot will trust) must first
+// make the new home durable.
+func (l *LLD) dskSync() error {
+	seq := l.writeSeq.Load() // writes issued before the drain are covered by it
+	if s, ok := l.dsk.(disk.Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	for {
+		old := l.syncedSeq.Load()
+		if old >= seq || l.syncedSeq.CompareAndSwap(old, seq) {
+			return nil
+		}
+	}
+}
+
+// crashPoint reports a named schedule point to the torture harness's
+// CrashHook, when one is installed. The hook may cut the simulated
+// power, making the very next backend I/O fail.
+func (l *LLD) crashPoint(site string) {
+	if l.opts.CrashHook != nil {
+		l.opts.CrashHook(site)
+	}
 }
 
 // dskReadVerified reads len(p) bytes at off, preferring a copy that

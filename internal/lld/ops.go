@@ -869,7 +869,16 @@ func (l *LLD) Shutdown(clean bool) error {
 		}
 	}
 	l.releaseCooling()
+	// The complete checkpoint is what lets the next boot skip the sweep,
+	// so everything it describes — and the checkpoint itself — must be on
+	// the platter, not in a volatile write cache, before we report clean.
+	if err := l.dskSync(); err != nil {
+		return err
+	}
 	if err := l.writeCheckpoint(true); err != nil {
+		return err
+	}
+	if err := l.dskSync(); err != nil {
 		return err
 	}
 	l.shut = true

@@ -170,6 +170,19 @@ type Options struct {
 	// paths (Read, cleaner, reorganizer). Checksums are still computed and
 	// logged. For measuring the verification overhead; leave off otherwise.
 	DisableReadVerify bool
+
+	// CrashHook, when set, is called at named schedule points inside
+	// maintenance passes whose interruption is interesting to crash
+	// testing — between a cleaner's block moves and its fact re-log
+	// ("clean.moved"), after the re-log ("clean.relogged"), around
+	// ReclaimQuarantined's evidence-slot clears ("reclaim.preclear",
+	// "reclaim.midclear", "reclaim.postclear"), after a scrub salvage
+	// append ("scrub.salvage"), and before a consolidation checkpoint
+	// ("consolidate"). The torture harness (internal/torture) installs
+	// a hook that cuts simulated power at a scheduled occurrence. The
+	// hook runs with the instance lock held and must not call back into
+	// the LLD. A runtime knob, never written to disk.
+	CrashHook func(site string)
 }
 
 // DefaultOptions returns the configuration used for the paper's main

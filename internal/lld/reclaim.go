@@ -99,24 +99,43 @@ func (l *LLD) ReclaimQuarantined() (ReclaimResult, error) {
 
 	// Salvage records (this call's or an earlier Scrub's) may still sit in
 	// the open segment; force them durable before destroying the evidence.
+	// "Durable" must survive a volatile write cache too, hence the Sync:
+	// a power loss may otherwise persist the zeroed slots (below) while
+	// dropping the re-logged facts that justified zeroing them.
 	if l.cur != nil && l.cur.dirty {
 		if err := l.writePartial(); err != nil {
 			return res, err
 		}
 	}
+	if err := l.dskSync(); err != nil {
+		return res, err
+	}
+	l.crashPoint("reclaim.preclear")
 	zero := make([]byte, l.lay.summarySize)
 	for _, seg := range reclaimable {
 		for slot := 0; slot < 2; slot++ {
 			if err := l.dskWrite(zero, l.lay.sumOff(seg, slot)); err != nil {
 				return res, err
 			}
+			l.crashPoint("reclaim.midclear")
 		}
+	}
+	// The zeroed slots must be durable before the segments rejoin the
+	// free pool: a reused segment overwrites the old evidence bytes, and
+	// a crash that had kept the zeroing in a volatile cache would then
+	// resurrect stale quarantine evidence on top of the new data. On a
+	// sync failure the segments simply stay quarantined — sticky, safe.
+	if err := l.dskSync(); err != nil {
+		return res, err
+	}
+	for _, seg := range reclaimable {
 		l.segs[seg] = segInfo{state: segFree}
 		l.freeSegs = append(l.freeSegs, seg)
 		res.Reclaimed = append(res.Reclaimed, seg)
 		l.stats.QuarantinedSegments--
 		l.stats.ReclaimedSegments++
 	}
+	l.crashPoint("reclaim.postclear")
 	l.spaceCond.Broadcast()
 	return res, nil
 }

@@ -191,12 +191,50 @@ func (l *LLD) probeSegment(i int, sum []byte) (segProbe, error) {
 	return p, nil
 }
 
+// metaNewestAcross reads a metadata span whose replica copies may hold
+// different generations — a crashed metadata write can persist on a
+// subset of a mirror's replicas, leaving every copy internally valid but
+// disagreeing about which generation the slot holds. Accepting "any copy
+// that parses" then makes recovery depend on which replica a rotated
+// read happens to serve, and leaves the losing generation in place to
+// resurface on a later mount or in the offline checker. This scans every
+// live replica for the newest copy parse accepts, re-reads pinned to
+// that generation so the copy lands in buf, and heals every replica
+// holding an older generation or garbage, converging the image. Returns
+// found=false (nil error) when no replica holds a parseable copy.
+func (l *LLD) metaNewestAcross(mr disk.MultiReader, buf []byte, off int64, parse func([]byte) (uint64, bool)) (found bool, err error) {
+	var bestTS uint64
+	_, scanErr := mr.VerifyReplicas(buf, off, func(b []byte) bool {
+		if ts, ok := parse(b); ok && (!found || ts > bestTS) {
+			bestTS, found = ts, true
+		}
+		return false // scan only: stamp every copy, adopt and heal below
+	})
+	if !found {
+		if scanErr != nil && !errors.Is(scanErr, disk.ErrNoValidReplica) {
+			return false, scanErr
+		}
+		return false, nil
+	}
+	healed, err := mr.ReadAtVerified(buf, off, func(b []byte) bool {
+		ts, ok := parse(b)
+		return ok && ts == bestTS
+	})
+	if healed > 0 {
+		atomic.AddInt64(&l.stats.DegradedReads, 1)
+		atomic.AddInt64(&l.stats.SelfHeals, int64(healed))
+	}
+	return true, err
+}
+
 // probeSegmentMulti is probeSegment over a redundant backend: each slot
-// is read with replica selection, accepting any copy that decodes as a
-// valid summary for this segment. A copy that rotted while a sibling
-// replica stayed intact is served around and healed here, so it never
-// quarantines the segment. A slot no copy can decode (empty, foreign,
-// torn, or rotted everywhere) falls back to a plain read so the
+// adopts the newest copy across replicas that decodes as a valid summary
+// for this segment (metaNewestAcross), so a seal that persisted on only
+// a subset of replicas is seen — and replicated everywhere — rather than
+// won or lost by replica rotation. A copy that rotted while a sibling
+// replica stayed intact is served around and healed the same way, so it
+// never quarantines the segment. A slot no copy can decode (empty,
+// foreign, torn, or rotted everywhere) falls back to a plain read so the
 // torn-vs-rot classifier sees the same evidence it would on one platter.
 func (l *LLD) probeSegmentMulti(mr disk.MultiReader, i int, sum []byte) (segProbe, error) {
 	lay := l.lay
@@ -204,18 +242,17 @@ func (l *LLD) probeSegmentMulti(mr disk.MultiReader, i int, sum []byte) (segProb
 	for slot := 0; slot < 2; slot++ {
 		buf := sum[slot*lay.summarySize : (slot+1)*lay.summarySize]
 		off := lay.sumOff(i, slot)
-		healed, err := mr.ReadAtVerified(buf, off, func(b []byte) bool {
-			_, e := decodeSummary(b, lay, i)
-			return e == nil
+		found, err := l.metaNewestAcross(mr, buf, off, func(b []byte) (uint64, bool) {
+			si, e := decodeSummary(b, lay, i)
+			if e != nil {
+				return 0, false
+			}
+			return si.writeTS, true
 		})
-		if healed > 0 {
-			atomic.AddInt64(&l.stats.DegradedReads, 1)
-			atomic.AddInt64(&l.stats.SelfHeals, int64(healed))
-		}
 		switch {
-		case err == nil:
+		case err == nil && found:
 			probeSlot(&p, slot, buf, lay, i)
-		case errors.Is(err, disk.ErrNoValidReplica):
+		case err == nil || errors.Is(err, disk.ErrNoValidReplica):
 			if err := l.dskRead(buf, off); err != nil {
 				if !errors.Is(err, disk.ErrUnreadable) {
 					return p, err
@@ -542,6 +579,17 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 			si.state = segFree
 		}
 	}
+	// A volatile write cache can persist a sealed summary while dropping the
+	// data sectors it describes — on every replica. The replay above trusted
+	// each surviving summary's data locations (sound under in-order writes,
+	// where sealing orders data before summary; not under reordered
+	// persistence). Read back every mapped payload and quarantine segments
+	// whose summaries outlived their data; without this pass the mount
+	// reports an undegraded image whose reads fail. Even blocks below the
+	// consolidation floor must be checked: a seal re-writes bytes the
+	// checkpoint barrier already made durable, and the crash can tear that
+	// in-flight sector — garbage over previously durable data.
+	l.verifyRecoveredData(&report)
 	l.ts = maxTS + 1
 	if discarded > 0 {
 		// Schedule an abort fence over (lastCommitted, l.ts): the discarded
@@ -553,6 +601,51 @@ func (l *LLD) recoverSweep(floor uint64, seeded bool) error {
 	report.DiscardedRecords = discarded
 	l.recReport = report
 	return nil
+}
+
+// verifyRecoveredData checks that every mapped block still has its
+// payload on the platter(s), and quarantines any segment holding a block
+// that does not. On replicated backends the read also heals copies that
+// diverged (a mirror leg whose cache dropped or tore the data while its
+// sibling's persisted). It runs only on unclean mounts — the fsck side
+// of recovery.
+func (l *LLD) verifyRecoveredData(report *RecoveryReport) {
+	mr, multi := l.dsk.(disk.MultiReader)
+	verify := func(bi *blockInfo) bool {
+		if multi && !l.opts.DisableReadVerify {
+			_, _, err := l.verifyStoredAllCopies(mr, bi)
+			return err == nil
+		}
+		data, err := l.readStored(bi, &l.scratch)
+		return err == nil && payloadCRC(data) == bi.crc
+	}
+	var lost map[int32]bool
+	for i := 1; i < len(l.blocks); i++ {
+		bi := &l.blocks[i]
+		if !bi.allocated() || !bi.hasData() || bi.stored == 0 || bi.seg < 0 {
+			continue
+		}
+		si := &l.segs[bi.seg]
+		if si.state == segQuarantined || lost[bi.seg] {
+			continue
+		}
+		if !verify(bi) {
+			if lost == nil {
+				lost = make(map[int32]bool)
+			}
+			lost[bi.seg] = true
+		}
+	}
+	segs := make([]int32, 0, len(lost))
+	for s := range lost {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, s := range segs {
+		l.segs[s].state = segQuarantined
+		report.QuarantinedSegments = append(report.QuarantinedSegments,
+			QuarantinedSegment{Seg: int(s), Reason: "block data lost under a surviving summary"})
+	}
 }
 
 // replayEntry installs a block data-location assignment.
@@ -777,8 +870,54 @@ func (l *LLD) installRecovered(rs *recState) {
 			}
 		}
 	}
+	// A block's tag can name a list whose own records (its tNewList, or
+	// the tListState a cleaner re-logged) were all lost with a quarantined
+	// summary. The tags are the newest surviving membership facts, so the
+	// list demonstrably existed: resurrect it rather than strand — or
+	// worse, free — its surviving members. The chain order died with the
+	// list's records; re-link the members in block-id order, which is
+	// deterministic and keeps every one reachable.
+	var lostLids []ld.ListID
+	lost := make(map[ld.ListID][]ld.BlockID)
+	for i := 1; i < len(l.blocks); i++ {
+		bi := &l.blocks[i]
+		if !bi.allocated() || bi.lid == ld.NilList {
+			continue
+		}
+		if _, ok := l.lists[bi.lid]; ok {
+			continue
+		}
+		if len(lost[bi.lid]) == 0 {
+			lostLids = append(lostLids, bi.lid)
+		}
+		lost[bi.lid] = append(lost[bi.lid], ld.BlockID(i))
+	}
+	sort.Slice(lostLids, func(i, j int) bool { return lostLids[i] < lostLids[j] })
+	for _, lid := range lostLids {
+		members := lost[lid] // ascending block id by construction
+		var ts uint64
+		for j, b := range members {
+			next := ld.NilBlock
+			if j+1 < len(members) {
+				next = members[j+1]
+			}
+			l.blocks[b].next = next
+			if l.blocks[b].linkTS > ts {
+				ts = l.blocks[b].linkTS
+			}
+		}
+		l.lists[lid] = &listInfo{first: members[0], existTS: ts, headTS: ts, orderTS: ts}
+		l.order = append(l.order, lid)
+		l.stats.RecoveryAnomalies++
+	}
 	// Census and chain sanity: count members per list, guarding against
-	// cycles or dangling pointers left by pathological histories.
+	// cycles, dangling pointers, and half-applied membership facts — a
+	// quarantined summary can take one side of a block move with it,
+	// leaving a block reachable from two chains or from a chain its own
+	// list tag disowns. The tag is the newest surviving membership fact,
+	// so a chain is truncated where it reaches a block the tag assigns
+	// elsewhere, or one an earlier chain already claimed.
+	owner := make(map[ld.BlockID]ld.ListID)
 	for _, lid := range l.order {
 		li := l.lists[lid]
 		n := 0
@@ -794,6 +933,16 @@ func (l *LLD) installRecovered(rs *recState) {
 				l.stats.RecoveryAnomalies++
 				break
 			}
+			if _, claimed := owner[b]; claimed || l.blocks[b].lid != lid {
+				if prev == ld.NilBlock {
+					li.first = ld.NilBlock
+				} else {
+					l.blocks[prev].next = ld.NilBlock
+				}
+				l.stats.RecoveryAnomalies++
+				break
+			}
+			owner[b] = lid
 			n++
 			prev = b
 		}

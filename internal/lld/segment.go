@@ -32,6 +32,7 @@ func (l *LLD) openNewSegment() error {
 		id:      id,
 		buf:     l.segBuf,
 		sumSize: summaryHeaderSize,
+		slotSeq: [2]int64{-1, -1},
 	}
 	return nil
 }
@@ -280,6 +281,26 @@ func (l *LLD) emitDataSnap(bid ld.BlockID) error {
 // tupleSpace returns the summary bytes needed for a tuple of the given kind.
 func tupleSpace(kind uint8) int { return tupleFixedSize + 4*tupleArgc[kind] }
 
+// guardSlotOverwrite makes rewriting a summary slot crash-safe under a
+// volatile write cache. The ping-pong discipline keeps the newest image
+// out of the slot being rewritten, but "written earlier" is not
+// "durable": if the other slot's newer image may still sit in the cache,
+// the slot about to be rewritten may hold the only durable summary of
+// acknowledged records, and a power loss tearing the rewrite while
+// dropping the cached image would destroy them without a trace (the torn
+// slot classifies as a benign unacknowledged tail). Drain the cache so
+// the newer image reaches the platter before the older is sacrificed.
+// Callers hold l.mu.
+func (l *LLD) guardSlotOverwrite(cur *openSegment, slot int) error {
+	if cur.slotSeq[slot] < 0 {
+		return nil // slot holds no image from this segment generation
+	}
+	if other := cur.slotSeq[1-slot]; other >= 0 && other <= l.syncedSeq.Load() {
+		return nil // the newer image is already on the platter
+	}
+	return l.dskSync()
+}
+
 // sealSegment writes the open segment to disk as a full segment in one disk
 // operation (paper §3) and retires it. Callers hold l.mu.
 func (l *LLD) sealSegment() error {
@@ -303,6 +324,9 @@ func (l *LLD) sealSegment() error {
 	ss := l.lay.sectorSize
 	dataBytes := (cur.dataOff + ss - 1) / ss * ss
 	sum := cur.buf[l.lay.dataCap() : l.lay.dataCap()+l.lay.summarySize]
+	if err := l.guardSlotOverwrite(cur, cur.slot); err != nil {
+		return err
+	}
 	if dataBytes >= l.lay.dataCap()/2 && cur.slot == 0 {
 		if err := l.dskWrite(cur.buf[:l.lay.dataCap()+l.lay.summarySize], l.lay.segOff(cur.id)); err != nil {
 			return err
@@ -336,15 +360,15 @@ func (l *LLD) sealSegment() error {
 // own slot, but the segment stays in memory and keeps filling; a later seal
 // rewrites the whole segment in place, and the earlier partial image is
 // superseded at no cleaning cost.
-func (l *LLD) writePartial() error { return l.writePartialVia(l.dskWrite, &l.stats.PartialWrites) }
+func (l *LLD) writePartial() error { return l.writePartialVia(l.dskWrite, &l.stats.PartialWrites, false) }
 
 // writePartialNVRAM is the §5.3 variant: the partial image lands in
 // battery-backed NVRAM, so no disk operation is charged.
 func (l *LLD) writePartialNVRAM() error {
-	return l.writePartialVia(l.dsk.WriteAtNVRAM, &l.stats.NVRAMFlushes)
+	return l.writePartialVia(l.dsk.WriteAtNVRAM, &l.stats.NVRAMFlushes, true)
 }
 
-func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64) error {
+func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64, nvram bool) error {
 	cur := l.cur
 	if cur == nil || !cur.dirty {
 		return nil
@@ -360,7 +384,13 @@ func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64) e
 	// holding the newest acknowledged image: a tear anywhere leaves that
 	// previous image intact, so acknowledged records are never destroyed
 	// by a later rewrite of the same segment (the in-place strategy of
-	// §3.2 made crash-safe).
+	// §3.2 made crash-safe). An NVRAM write needs no overwrite guard: it
+	// replaces the slot durably and atomically.
+	if !nvram {
+		if err := l.guardSlotOverwrite(cur, cur.slot); err != nil {
+			return err
+		}
+	}
 	if dataBytes > 0 {
 		if err := write(cur.buf[:dataBytes], off); err != nil {
 			return err
@@ -369,6 +399,11 @@ func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64) e
 	sum := cur.buf[l.lay.dataCap() : l.lay.dataCap()+l.lay.summarySize]
 	if err := write(sum, l.lay.sumOff(cur.id, cur.slot)); err != nil {
 		return err
+	}
+	if nvram {
+		cur.slotSeq[cur.slot] = 0
+	} else {
+		cur.slotSeq[cur.slot] = l.writeSeq.Load()
 	}
 	cur.slot ^= 1
 	l.chargeCompression()
@@ -384,7 +419,16 @@ func (l *LLD) writePartialVia(write func([]byte, int64) error, counter *int64) e
 // the cleaner becomes reusable only after the next durable write, which is
 // what makes the facts the cleaner re-logged (and the block copies it
 // moved) reachable by recovery before the old copies can be destroyed.
+// On a backend with a volatile write cache "the next write returned" is
+// not "durable", so the cache is drained first; if the drain fails the
+// segments simply stay cooling — unreusable but safe.
 func (l *LLD) releaseCooling() {
+	if len(l.cooling) == 0 {
+		return
+	}
+	if err := l.dskSync(); err != nil {
+		return
+	}
 	for _, id := range l.cooling {
 		l.segs[id].state = segFree
 		l.freeSegs = append(l.freeSegs, id)

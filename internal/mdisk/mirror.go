@@ -2,6 +2,7 @@ package mdisk
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,12 @@ type Mirror struct {
 	// under the exclusive lock).
 	chunk   int64
 	written []uint64
+
+	// crashHook, when set, is called between per-replica writes with a
+	// site string ("mirror.write.<i>" after replica i accepted the
+	// fan-out) so the torture harness can cut power while the replicas
+	// disagree. Guarded by mu.
+	crashHook func(site string)
 
 	stats MirrorStats
 }
@@ -145,7 +152,7 @@ func (m *Mirror) write(p []byte, off int64, nvram bool) error {
 	}
 	okLive := false
 	var firstErr error
-	for _, r := range m.kids {
+	for i, r := range m.kids {
 		st := r.st()
 		if st == ReplicaFailed {
 			continue
@@ -165,6 +172,9 @@ func (m *Mirror) write(p []byte, off int64, nvram bool) error {
 		}
 		if st == ReplicaLive {
 			okLive = true
+		}
+		if m.crashHook != nil && i < len(m.kids)-1 {
+			m.crashHook(mirrorWriteSite(i))
 		}
 	}
 	if okLive {
@@ -343,6 +353,54 @@ func (m *Mirror) VerifyReplicas(p []byte, off int64, verify func([]byte) bool) (
 		atomic.AddInt64(&m.stats.Heals, 1)
 	}
 	return healed, nil
+}
+
+// SetCrashHook installs (or clears, with nil) the torture harness's
+// mid-fan-out crash callback. The hook runs with the mirror's exclusive
+// lock held, after replica i accepted a write and before replica i+1
+// sees it, at site "mirror.write.<i>".
+func (m *Mirror) SetCrashHook(hook func(site string)) {
+	m.mu.Lock()
+	m.crashHook = hook
+	m.mu.Unlock()
+}
+
+func mirrorWriteSite(i int) string { return "mirror.write." + strconv.Itoa(i) }
+
+// Sync implements disk.Syncer: every replica that offers a write
+// barrier drains it. A replica whose cache cannot drain has silently
+// lost acknowledged writes, which is exactly a failed write — it is
+// marked failed, and Sync succeeds while a live replica remains.
+func (m *Mirror) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	okLive := false
+	var firstErr error
+	for _, r := range m.kids {
+		st := r.st()
+		if st == ReplicaFailed {
+			continue
+		}
+		if s, ok := r.b.(disk.Syncer); ok {
+			if err := s.Sync(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				m.fail(r)
+				continue
+			}
+		}
+		if st == ReplicaLive {
+			okLive = true
+		}
+	}
+	if okLive {
+		return nil
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ErrMirrorDown
 }
 
 // Replicas implements disk.MultiReader.

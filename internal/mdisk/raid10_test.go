@@ -1,0 +1,194 @@
+package mdisk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// newRaid10 builds a stripe over `lanes` two-way mirrors — RAID-10.
+// raw[lane][replica] is the backing disk of each mirror member.
+func newRaid10(t *testing.T, lanes int, capacity int64) (*Stripe, []*Mirror, [][]*disk.Disk) {
+	t.Helper()
+	mirrors := make([]*Mirror, lanes)
+	kids := make([]disk.Backend, lanes)
+	raw := make([][]*disk.Disk, lanes)
+	for i := range mirrors {
+		a := disk.New(disk.DefaultConfig(capacity))
+		b := disk.New(disk.DefaultConfig(capacity))
+		m, err := NewMirror(a, b)
+		if err != nil {
+			t.Fatalf("NewMirror lane %d: %v", i, err)
+		}
+		mirrors[i], kids[i], raw[i] = m, m, []*disk.Disk{a, b}
+	}
+	s, err := NewStripe(kids...)
+	if err != nil {
+		t.Fatalf("NewStripe over mirrors: %v", err)
+	}
+	return s, mirrors, raw
+}
+
+// TestRaid10RoundTrip: writes through the nested composition land on
+// every mirror member — after a write burst the two replicas of each
+// lane are byte-identical and reads return what was written.
+func TestRaid10RoundTrip(t *testing.T) {
+	s, _, raw := newRaid10(t, 2, 1<<20)
+	ss := int64(s.SectorSize())
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, 8*ss)
+	chk := make([]byte, 8*ss)
+	for i := 0; i < 50; i++ {
+		off := rng.Int63n(s.Capacity()/ss-8) * ss
+		rng.Read(buf)
+		if err := s.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadAt(chk, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, chk) {
+			t.Fatalf("read-after-write mismatch at %d", off)
+		}
+	}
+	for lane, pair := range raw {
+		a := make([]byte, pair[0].Capacity())
+		b := make([]byte, pair[1].Capacity())
+		if err := pair[0].ReadAt(a, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := pair[1].ReadAt(b, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("lane %d replicas diverged", lane)
+		}
+	}
+}
+
+// TestRaid10DegradedReadHealsUnreadable: latent unreadable sectors on
+// one member of every lane are read around by that lane's mirror and
+// healed by rewrite — the stripe above never sees an error.
+func TestRaid10DegradedReadHealsUnreadable(t *testing.T) {
+	s, mirrors, raw := newRaid10(t, 2, 1<<20)
+	ss := int64(s.SectorSize())
+	span := 8 * ss // logical sectors 0..7 → physical 0..3 on each lane
+	buf := make([]byte, span)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	if err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Alternate the failing member per lane so both replica indices are
+	// exercised through the nesting.
+	for lane, pair := range raw {
+		pair[lane%2].InjectUnreadable(0, 4)
+	}
+	chk := make([]byte, span)
+	for i := 0; i < 4; i++ {
+		if err := s.ReadAt(chk, 0); err != nil {
+			t.Fatalf("degraded read %d through stripe: %v", i, err)
+		}
+		if !bytes.Equal(buf, chk) {
+			t.Fatalf("degraded read %d returned wrong bytes", i)
+		}
+	}
+	for lane, m := range mirrors {
+		if st := m.Stats(); st.DegradedReads == 0 || st.Heals == 0 {
+			t.Fatalf("lane %d stats = %+v, want nonzero DegradedReads and Heals", lane, st)
+		}
+	}
+	// Healed: the faulted members serve their sectors directly again.
+	part := make([]byte, 4*ss)
+	for lane, pair := range raw {
+		if err := pair[lane%2].ReadAt(part, 0); err != nil {
+			t.Fatalf("lane %d member still unreadable after heal: %v", lane, err)
+		}
+	}
+}
+
+// TestRaid10SurvivesOneReplicaPerLane: with one member of EVERY lane
+// crashed, the composition keeps serving reads and writes; losing both
+// members of a lane surfaces an error instead of garbage.
+func TestRaid10SurvivesOneReplicaPerLane(t *testing.T) {
+	s, mirrors, raw := newRaid10(t, 3, 1<<20)
+	ss := int64(s.SectorSize())
+	buf := make([]byte, 6*ss)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for lane, pair := range raw {
+		pair[lane%2].Crash()
+	}
+	chk := make([]byte, len(buf))
+	if err := s.ReadAt(chk, 0); err != nil {
+		t.Fatalf("read with one member down per lane: %v", err)
+	}
+	if !bytes.Equal(buf, chk) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+	if err := s.WriteAt(buf, 6*ss); err != nil {
+		t.Fatalf("write with one member down per lane: %v", err)
+	}
+	for lane, m := range mirrors {
+		if m.State(lane%2) != ReplicaFailed {
+			t.Fatalf("lane %d member %d not marked failed", lane, lane%2)
+		}
+	}
+	// Lose lane 0 entirely: requests touching it must now fail loudly.
+	raw[0][1].Crash()
+	if err := s.ReadAt(chk, 0); err == nil {
+		t.Fatal("read succeeded with both members of lane 0 crashed")
+	}
+}
+
+// TestRaid10RebuildUnderLLD: the full stack — LLD over stripe over
+// mirrors. Lose a member of one lane mid-workload, write through the
+// degradation, rebuild the member online, then lose its sibling: every
+// block must come back from the rebuilt copy alone.
+func TestRaid10RebuildUnderLLD(t *testing.T) {
+	s, mirrors, _ := newRaid10(t, 2, 4<<20)
+	l := openLLDOver(t, s)
+	defer l.Shutdown(false)
+	want := populate(t, l, 40)
+
+	mirrors[0].FailReplica(0)
+	// Degraded-mode writes the rebuild must carry over.
+	for b := range want {
+		data := bytes.Repeat([]byte{0xee}, 2048)
+		if err := l.Write(b, data); err != nil {
+			t.Fatal(err)
+		}
+		want[b] = data
+		break
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mirrors[0].AttachBlank(0, disk.New(disk.DefaultConfig(4<<20))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mirrors[0].Rebuild(0, 4, nil)
+	if err != nil {
+		t.Fatalf("online rebuild of lane 0 member: %v", err)
+	}
+	if rep.Chunks == 0 {
+		t.Fatalf("rebuild copied nothing: %+v", rep)
+	}
+	mirrors[0].FailReplica(1)
+	buf := make([]byte, 4096)
+	for b, data := range want {
+		n, err := l.Read(b, buf)
+		if err != nil || !bytes.Equal(buf[:n], data) {
+			t.Fatalf("block %d wrong from rebuilt lane member (err=%v)", b, err)
+		}
+	}
+}

@@ -228,6 +228,20 @@ func (s *Stripe) AdvanceIdle(d time.Duration) {
 	}
 }
 
+// Sync implements disk.Syncer: every leg that offers a write barrier
+// drains it. A stripe has no redundancy, so the first leg error fails
+// the barrier — an acknowledged write may then still be volatile.
+func (s *Stripe) Sync() error {
+	for _, k := range s.kids {
+		if sy, ok := k.(disk.Syncer); ok {
+			if err := sy.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Backends reports the number of striped backends.
 func (s *Stripe) Backends() int { return len(s.kids) }
 

@@ -29,6 +29,12 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T) *fixture {
+	return newFixtureCfg(t, nil)
+}
+
+// newFixtureCfg is newFixture with a hook to adjust the server config
+// (e.g. enable the idle timeout) before the server is built.
+func newFixtureCfg(t *testing.T, tweak func(*server.Config)) *fixture {
 	t.Helper()
 	d := disk.New(disk.DefaultConfig(8 << 20))
 	o := lld.DefaultOptions()
@@ -41,10 +47,14 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Disk:   l,
 		Reopen: func() (ld.Disk, error) { return lld.Open(d, o) },
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	srv := server.New(cfg)
 	t.Cleanup(func() { srv.Close() })
 	return &fixture{dsk: d, opts: o, srv: srv}
 }
@@ -411,5 +421,80 @@ func TestDegradedServerRefusesCorruptBlocksOnly(t *testing.T) {
 	}
 	if sawCorrupt == 0 || sawClean == 0 {
 		t.Fatalf("degenerate split: %d corrupt, %d clean", sawCorrupt, sawClean)
+	}
+}
+
+// TestIdleTimeoutDisconnectsDeadClient: a client that opens an ARU and
+// then falls silent — connected but never speaking again — must not pin
+// its session or the server-wide ARU forever. With Config.IdleTimeout
+// set the server cuts the session, aborts the dangling unit via crash
+// recovery, and a live client gets the ARU (and sees the silent
+// client's uncommitted write discarded). A client that keeps talking,
+// even over a slow faulty link, is never idled out.
+func TestIdleTimeoutDisconnectsDeadClient(t *testing.T) {
+	const idle = 50 * time.Millisecond
+	f := newFixtureCfg(t, func(c *server.Config) { c.IdleTimeout = idle })
+	// Leg 1 (the dying client) is a clean faultconn; leg 2 adds
+	// deterministic per-I/O delays well under the idle timeout, proving
+	// slow-but-alive sessions survive.
+	dial, _ := f.pipeDial(
+		faultconn.Config{},
+		faultconn.Config{Seed: 5, DelayProb: 0.5, MaxDelay: 2 * time.Millisecond},
+	)
+
+	c1, err := client.New(dial, client.Options{Retries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, b := seed(t, c1, "v1")
+	if err := c1.BeginARU(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Write(b, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// c1 now goes silent without closing its connection: a dead client.
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := f.srv.Stats()
+		if st.IdleDisconnects >= 1 && st.ARUAborts >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session not reaped: stats %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The ARU is free again and the dead client's uncommitted write was
+	// aborted, not committed.
+	c2, err := client.New(dial, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := readStr(t, c2, b); got != "v1" {
+		t.Fatalf("silent client's uncommitted write leaked: block holds %q", got)
+	}
+	if err := c2.BeginARU(); err != nil {
+		t.Fatalf("BeginARU after idle reap: %v", err)
+	}
+
+	// Keep c2 active across several idle windows: requests spaced under
+	// the timeout reset the clock, so it must never be disconnected.
+	stop := time.Now().Add(3 * idle)
+	for time.Now().Before(stop) {
+		if got := readStr(t, c2, b); got != "v1" {
+			t.Fatalf("active session read wrong value %q", got)
+		}
+		time.Sleep(idle / 4)
+	}
+	if err := c2.EndARU(); err != nil {
+		t.Fatalf("EndARU on active session: %v", err)
+	}
+	if st := f.srv.Stats(); st.IdleDisconnects != 1 {
+		t.Fatalf("IdleDisconnects = %d, want exactly 1 (the dead client)", st.IdleDisconnects)
 	}
 }

@@ -48,6 +48,13 @@ type Config struct {
 	// MaxFrame bounds incoming frame sizes. Defaults to the backing
 	// disk's max block size plus header slack.
 	MaxFrame int
+
+	// IdleTimeout, when positive, disconnects a session that sends no
+	// request (not even a handshake) for that long, so dead clients
+	// cannot pin connections — or a dangling ARU — forever. A session
+	// cut for idleness gets the same cleanup as a dropped one: any ARU
+	// it holds is aborted via Reopen. Zero disables the timeout.
+	IdleTimeout time.Duration
 }
 
 // OpStats aggregates per-opcode counters and a latency histogram.
@@ -118,18 +125,20 @@ type Stats struct {
 	SessionsOpened   uint64
 	SessionsClosed   uint64
 	ActiveSessions   uint64
+	IdleDisconnects  uint64 // sessions cut by Config.IdleTimeout
 	ARUAborts        uint64 // dangling ARUs aborted via crash-recovery
 	ARUForcedCommits uint64 // dangling ARUs committed (no Reopen hook)
 	ProtoErrors      uint64
-	ReadMultiChunks  uint64 // frames used by ReadMulti replies that needed splitting
+	ReadMultiChunks  uint64             // frames used by ReadMulti replies that needed splitting
 	Ops              map[string]OpStats // keyed by method name
 }
 
 // Server serves one backing ld.Disk to any number of sessions.
 type Server struct {
-	logf     func(string, ...any)
-	reopen   func() (ld.Disk, error)
-	maxFrame int
+	logf        func(string, ...any)
+	reopen      func() (ld.Disk, error)
+	maxFrame    int
+	idleTimeout time.Duration
 
 	// mu guards the backing disk pointer, ARU ownership, and the session
 	// and listener sets. Request handlers hold it for reading while they
@@ -172,12 +181,13 @@ func New(cfg Config) *Server {
 		maxFrame = cfg.Disk.MaxBlockSize() + 4096
 	}
 	return &Server{
-		logf:      logf,
-		reopen:    cfg.Reopen,
-		maxFrame:  maxFrame,
-		disk:      cfg.Disk,
-		sessions:  make(map[*session]struct{}),
-		listeners: make(map[net.Listener]struct{}),
+		logf:        logf,
+		reopen:      cfg.Reopen,
+		maxFrame:    maxFrame,
+		idleTimeout: cfg.IdleTimeout,
+		disk:        cfg.Disk,
+		sessions:    make(map[*session]struct{}),
+		listeners:   make(map[net.Listener]struct{}),
 	}
 }
 
@@ -240,7 +250,11 @@ func (s *Server) ServeConn(c net.Conn) {
 		s.wg.Done()
 	}()
 
+	s.armIdleDeadline(c)
 	if err := s.handshake(c); err != nil {
+		if s.idleTimedOut(sess, err) {
+			return
+		}
 		if !s.quietErr(err) {
 			s.logf("netld/server: handshake from %v: %v", c.RemoteAddr(), err)
 			s.countProtoError()
@@ -255,8 +269,12 @@ func (s *Server) ServeConn(c net.Conn) {
 			return
 		default:
 		}
+		s.armIdleDeadline(c)
 		payload, err := wire.ReadFrame(c, s.maxFrame)
 		if err != nil {
+			if s.idleTimedOut(sess, err) {
+				return
+			}
 			if !s.quietErr(err) {
 				s.logf("netld/server: read from %v: %v", c.RemoteAddr(), err)
 			}
@@ -309,6 +327,45 @@ func (s *Server) ServeConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// armIdleDeadline starts the idle clock for the next request: if an
+// idle timeout is configured, the following frame read fails with a
+// timeout once the session has been silent that long.
+func (s *Server) armIdleDeadline(c net.Conn) {
+	if s.idleTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+}
+
+// idleTimedOut classifies a frame-read error: true when it is the idle
+// deadline firing on a live session (counted and logged as an idle
+// disconnect), false otherwise — in particular for the immediate drain
+// deadline Close sets, which must stay a quiet shutdown path.
+func (s *Server) idleTimedOut(sess *session, err error) bool {
+	if s.idleTimeout <= 0 {
+		return false
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		return false
+	}
+	select {
+	case <-sess.closing:
+		return false
+	default:
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return false
+	}
+	s.logf("netld/server: disconnecting %v: idle for %v", sess.conn.RemoteAddr(), s.idleTimeout)
+	s.statMu.Lock()
+	s.stats.IdleDisconnects++
+	s.statMu.Unlock()
+	return true
 }
 
 // quietErr reports whether err is an expected end-of-session error not

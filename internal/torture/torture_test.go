@@ -1,0 +1,171 @@
+package torture
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// Bounded smoke per topology: every enumerated (sampled) crash point
+// must recover to a state the shadow model accepts. The full-breadth
+// runs live in ldtest (TestTorture*); these keep `go test ./...` honest.
+
+func smokeConfig(t *testing.T, kind string, maxPoints int) Config {
+	return Config{
+		Kind:      kind,
+		Legs:      2,
+		Seed:      1,
+		Ops:       160,
+		MaxPoints: maxPoints,
+		Logf:      t.Logf,
+	}
+}
+
+func runSmoke(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("torture run: %v", err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("crash point failed verification:\n  %s\n  %v", f.Repro, f.Err)
+	}
+	return res
+}
+
+func TestTortureLLDSmoke(t *testing.T) {
+	res := runSmoke(t, smokeConfig(t, KindLLD, 12))
+	if res.Points == 0 {
+		t.Fatal("no crash points enumerated")
+	}
+}
+
+func TestTortureStripeSmoke(t *testing.T) {
+	res := runSmoke(t, smokeConfig(t, KindStripe, 10))
+	if res.Points == 0 {
+		t.Fatal("no crash points enumerated")
+	}
+}
+
+func TestTortureMirrorSmoke(t *testing.T) {
+	res := runSmoke(t, smokeConfig(t, KindMirror, 10))
+	if res.Points == 0 {
+		t.Fatal("no crash points enumerated")
+	}
+}
+
+func TestTortureReclaimSmoke(t *testing.T) {
+	// Reclaim needs the damage search to actually quarantine a segment;
+	// an unlucky seed yields zero points, so walk a fixed seed list until
+	// one bites. All tried seeds must still verify cleanly.
+	for _, seed := range []int64{1, 2, 3, 5, 8} {
+		cfg := smokeConfig(t, KindReclaim, 8)
+		cfg.Seed = seed
+		res := runSmoke(t, cfg)
+		if res.Points > 0 {
+			if res.ByKind[ptSite] == 0 {
+				t.Error("reclaim points enumerated but none site-granular")
+			}
+			return
+		}
+	}
+	t.Error("no seed in the list produced a quarantined image to reclaim")
+}
+
+func TestTortureRebuildSmoke(t *testing.T) {
+	res := runSmoke(t, smokeConfig(t, KindRebuild, 8))
+	if res.Points == 0 {
+		t.Fatal("no rebuild crash points enumerated")
+	}
+	if res.ByKind[ptRebuild] != res.Points {
+		t.Errorf("rebuild enumerated non-rebuild points: %v", res.ByKind)
+	}
+}
+
+// TestReproRoundTrip checks that a reproducer line replays: same seed,
+// same point, same verdict (clean here, since the smoke suite is clean).
+func TestReproRoundTrip(t *testing.T) {
+	cfg := smokeConfig(t, KindLLD, 0)
+	pts, err := enumerate(cfg)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	pt := pts[len(pts)/2]
+	repro := Repro(cfg, pt)
+	for i := 0; i < 2; i++ {
+		if err := Replay(repro); err != nil {
+			t.Fatalf("replay %d of %q: %v", i, repro, err)
+		}
+	}
+	if err := Replay("seed=1 point=bogus:3"); err == nil {
+		t.Error("bogus reproducer accepted")
+	}
+	if err := Replay("seed=1 kind=lld"); err == nil || !strings.Contains(err.Error(), "no point") {
+		t.Errorf("pointless reproducer: got %v", err)
+	}
+}
+
+// TestReplayEnv replays the reproducer line in TORTURE_REPRO, for
+// debugging failures reported by CI or the long-run sweeps:
+//
+//	TORTURE_REPRO='seed=42 kind=lld legs=2 ops=300 disk=4194304 point=sector:1326' \
+//	  go test ./internal/torture -run TestReplayEnv -v
+func TestReplayEnv(t *testing.T) {
+	repro := os.Getenv("TORTURE_REPRO")
+	if repro == "" {
+		t.Skip("set TORTURE_REPRO to a reproducer line")
+	}
+	if err := Replay(repro); err != nil {
+		t.Fatalf("replay %q: %v", repro, err)
+	}
+}
+
+// TestPointParse covers the point grammar both ways.
+func TestPointParse(t *testing.T) {
+	cases := []point{
+		{kind: ptSector, n: 13},
+		{kind: ptOp, n: 7},
+		{kind: ptSite, n: 2, site: "reclaim.midclear"},
+		{kind: ptRebuild, n: 4},
+	}
+	for _, want := range cases {
+		got, err := parsePoint(want.String())
+		if err != nil {
+			t.Fatalf("parsePoint(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Errorf("parsePoint(%q) = %+v, want %+v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{"", "sector", "sector:0", "sector:-3", "site:noocc", "warp:9"} {
+		if _, err := parsePoint(bad); err == nil {
+			t.Errorf("parsePoint(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEnumerationBreadth asserts the acceptance floor: at default
+// workload length the lld + stripe + mirror configs together enumerate
+// well over 500 distinct crash points (before MaxPoints sampling).
+func TestEnumerationBreadth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference runs are not instant")
+	}
+	total := 0
+	for _, kind := range []string{KindLLD, KindStripe, KindMirror} {
+		cfg := Config{Kind: kind, Legs: 2, Seed: 7, Logf: t.Logf}
+		cfg.fillDefaults()
+		pts, err := enumerate(cfg)
+		if err != nil {
+			t.Fatalf("enumerate %s: %v", kind, err)
+		}
+		t.Logf("%s: %d points", kind, len(pts))
+		total += len(pts)
+	}
+	if total < 500 {
+		t.Errorf("lld+stripe+mirror enumerate %d crash points, want >= 500", total)
+	}
+}
