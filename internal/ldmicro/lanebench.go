@@ -1,0 +1,99 @@
+package ldmicro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// This file measures write scaling across open segment lanes
+// (lld.Options.SegmentLanes). The workload is all-writes against a working
+// set that straddles every map stripe, on a backend whose WriteAt carries a
+// real (wall-clock) latency: with one lane every segment seal pays that
+// latency inline under the instance lock, while with several lanes the
+// async seal pipeline overlaps the seal writes of independent lanes — so
+// aggregate throughput should rise with the lane count once enough clients
+// keep more than one lane dirty.
+
+// SlowBackend wraps a Backend and sleeps a fixed wall-clock latency on
+// every WriteAt, modelling the seek + rotation cost of a media write that
+// the virtual clock cannot surface in a wall-time benchmark. Reads and
+// NVRAM writes pass through untouched. Wrapping hides any optional
+// interfaces of the inner backend (Syncer, MultiReader) — acceptable here,
+// where the disk under test is a plain simulated platter.
+type SlowBackend struct {
+	disk.Backend
+	// WriteLatency is slept once per WriteAt call before the write lands.
+	WriteLatency time.Duration
+}
+
+func (s *SlowBackend) WriteAt(p []byte, off int64) error {
+	if s.WriteLatency > 0 {
+		time.Sleep(s.WriteLatency)
+	}
+	return s.Backend.WriteAt(p, off)
+}
+
+// NewLanedFunc returns a fresh disk-under-test configured with the given
+// lane count, plus a close function. Each sweep cell gets its own instance
+// so cells do not share cleaner state or segment history.
+type NewLanedFunc func(lanes int) (ld.Disk, func() error, error)
+
+// LaneSweepConfig sizes the lane-scaling sweep.
+type LaneSweepConfig struct {
+	// Clients lists the worker counts to sweep. Default {1, 4, 16}.
+	Clients []int
+	// Lanes lists the lane counts to sweep. Default {1, 2, 4}.
+	Lanes []int
+	// Base sizes each cell's workload (Blocks, BlockSize, OpsPerClient,
+	// Seed); its Clients, ReadFraction, and Compress are overridden.
+	Base ConcurrentConfig
+}
+
+func (c LaneSweepConfig) withDefaults() LaneSweepConfig {
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 16}
+	}
+	if len(c.Lanes) == 0 {
+		c.Lanes = []int{1, 2, 4}
+	}
+	return c
+}
+
+// LaneSweepResult is one (lane count, client count) cell.
+type LaneSweepResult struct {
+	Lanes int
+	ConcurrentResult
+}
+
+// RunLaneSweep measures all-write throughput for every lane count × client
+// count cell. The mix is pure writes with compression off: the contended
+// resource under test is media write time, not CPU, and RunConcurrent's
+// self-identifying payloads still verify every block.
+func RunLaneSweep(newDisk NewLanedFunc, cfg LaneSweepConfig) ([]LaneSweepResult, error) {
+	cfg = cfg.withDefaults()
+	var results []LaneSweepResult
+	for _, lanes := range cfg.Lanes {
+		for _, n := range cfg.Clients {
+			d, closeDisk, err := newDisk(lanes)
+			if err != nil {
+				return nil, fmt.Errorf("lanes=%d: %w", lanes, err)
+			}
+			base := cfg.Base
+			base.Clients = n
+			base.ReadFraction = 0
+			base.Compress = false
+			r, runErr := RunConcurrent(fmt.Sprintf("write-all/%d-lane", lanes), SingleHandle(d), base)
+			if err := closeDisk(); err != nil && runErr == nil {
+				runErr = err
+			}
+			if runErr != nil {
+				return nil, fmt.Errorf("lanes=%d clients=%d: %w", lanes, n, runErr)
+			}
+			results = append(results, LaneSweepResult{Lanes: lanes, ConcurrentResult: r})
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,112 @@
+package ldmicro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+	"repro/internal/ldmicro"
+	"repro/internal/lld"
+)
+
+// newLanedFunc builds fresh in-process LLDs at the requested lane count
+// over a SlowBackend, so segment seal writes cost real wall time and the
+// async pipeline's overlap is measurable.
+func newLanedFunc(tb testing.TB, capacity int64, lat time.Duration) ldmicro.NewLanedFunc {
+	tb.Helper()
+	return func(lanes int) (ld.Disk, func() error, error) {
+		b := &ldmicro.SlowBackend{
+			Backend:      disk.New(disk.DefaultConfig(capacity)),
+			WriteLatency: lat,
+		}
+		o := lld.DefaultOptions()
+		o.CompressBandwidth = 0 // wall-time measurements; no virtual CPU charge
+		o.MapShards = 4
+		o.SegmentLanes = lanes
+		if err := lld.Format(b, o); err != nil {
+			return nil, nil, err
+		}
+		l, err := lld.Open(b, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, func() error { return l.Shutdown(true) }, nil
+	}
+}
+
+// TestLaneSweepSmoke runs a tiny sweep end to end: every cell must
+// complete with verified payloads, and the one-lane cells must exist for
+// the scaling comparison.
+func TestLaneSweepSmoke(t *testing.T) {
+	results, err := ldmicro.RunLaneSweep(newLanedFunc(t, 16<<20, 0), ldmicro.LaneSweepConfig{
+		Clients: []int{1, 4},
+		Lanes:   []int{1, 4},
+		Base: ldmicro.ConcurrentConfig{
+			Blocks:       64,
+			OpsPerClient: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Writes == 0 || r.Reads != 0 {
+			t.Errorf("lanes=%d clients=%d: %d reads/%d writes, want all-write", r.Lanes, r.Clients, r.Reads, r.Writes)
+		}
+	}
+}
+
+// TestSlowBackendLatency pins the wrapper's contract: WriteAt sleeps,
+// ReadAt and WriteAtNVRAM do not.
+func TestSlowBackendLatency(t *testing.T) {
+	b := &ldmicro.SlowBackend{
+		Backend:      disk.New(disk.DefaultConfig(1 << 20)),
+		WriteLatency: 20 * time.Millisecond,
+	}
+	buf := make([]byte, b.SectorSize())
+	start := time.Now()
+	if err := b.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("WriteAt returned in %v, want >= 20ms", d)
+	}
+	start = time.Now()
+	if err := b.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteAtNVRAM(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= 20*time.Millisecond {
+		t.Errorf("ReadAt+WriteAtNVRAM took %v, want fast passthrough", d)
+	}
+}
+
+// BenchmarkWriteScalingLanes reports aggregate all-write throughput at 16
+// clients for 1, 2, and 4 lanes over a 200µs-per-write backend; ldbench
+// -lanebench prints the full client × lane matrix.
+func BenchmarkWriteScalingLanes(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			newDisk := newLanedFunc(b, 64<<20, 200*time.Microsecond)
+			for i := 0; i < b.N; i++ {
+				results, err := ldmicro.RunLaneSweep(newDisk, ldmicro.LaneSweepConfig{
+					Clients: []int{16},
+					Lanes:   []int{lanes},
+					Base:    ldmicro.ConcurrentConfig{OpsPerClient: 500},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := results[0]
+				b.ReportMetric(r.OpsPerSec(), "ops/s")
+			}
+		})
+	}
+}

@@ -73,7 +73,7 @@ func (l *LLD) stopBGClean() {
 // below the low watermark, or a mutator is blocked waiting for space.
 // Callers hold l.mu.
 func (l *LLD) cleanNeeded() bool {
-	return len(l.freeSegs)+len(l.cooling) <= l.opts.CleanLow || l.waiters > 0
+	return len(l.freeSegs)+len(l.cooling) <= l.effCleanLow() || l.waiters > 0
 }
 
 // cleanReserve is how many free segments are held back from foreground
@@ -129,9 +129,10 @@ func (l *LLD) runBGPass(bg *bgCleaner) {
 		finished, err := l.cleanSome(&p, step, l.watermarkTarget)
 		l.cleaningStep = false
 		l.stats.BGCleanSteps++
-		if l.waiters > 0 && len(l.freeSegs) > freeBefore {
-			l.spaceCond.Broadcast()
-		}
+		// Wake one waiter per segment freed, not all of them: a broadcast
+		// here stampedes every blocked writer at mu for (usually) a single
+		// segment, and all but one go straight back to sleep.
+		l.signalSpace(len(l.freeSegs) - freeBefore)
 		if err != nil {
 			// Abandon the pass; the foreground reproduces the error on its
 			// own stack if the condition persists (a waiter finding the
@@ -190,8 +191,12 @@ func (l *LLD) awaitFreeSegment() error {
 	l.stats.WriterWaits++
 	l.waiters++
 	defer func() { l.waiters-- }()
+	lane := l.curLane
 	start := l.stats.BGCleanPasses
 	for {
+		// Waits release mu and interleaved mutators repoint the current
+		// lane; this waiter's progress check is against its own lane.
+		l.setLane(lane)
 		if l.shut {
 			return ld.ErrShutdown
 		}
@@ -210,9 +215,12 @@ func (l *LLD) awaitFreeSegment() error {
 			// mode would.
 			return l.cleanInline()
 		}
-		// Defer to the goroutine; it broadcasts whenever a step grows the
-		// pool and when a pass ends.
+		// Defer to the goroutine; it signals one waiter per freed segment
+		// after each step and broadcasts when a pass ends.
 		l.bg.signal()
 		l.spaceCond.Wait()
+		if !l.shut && len(l.freeSegs) <= l.cleanReserve() && l.lanes[lane] == nil {
+			l.stats.SpuriousWakeups++
+		}
 	}
 }

@@ -145,6 +145,7 @@ func (l *LLD) Scrub() (ScrubResult, error) {
 	}
 	l.scrubbing = true
 	defer func() { l.scrubbing = false }()
+	l.setLane(0) // salvage rewrites log on lane 0
 	var res ScrubResult
 	for seg := 0; seg < l.lay.nSegments; seg++ {
 		// Never emit salvage records into someone else's open atomic

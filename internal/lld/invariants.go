@@ -125,7 +125,7 @@ func (l *LLD) CheckInvariants() []string {
 	// Segment states partition the segment space.
 	for i := range l.segs {
 		st := l.segs[i].state
-		if st > segQuarantined {
+		if st > segSealing {
 			bad("segment %d has unknown state %d", i, st)
 		}
 		if st == segFree && l.segs[i].live != 0 {

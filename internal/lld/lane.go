@@ -1,0 +1,405 @@
+package lld
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ld"
+)
+
+// Multi-lane segment log. With Options.SegmentLanes > 1 the instance
+// keeps N open segments ("lanes") filling concurrently: a Write appends
+// to the lane picked by its block's map stripe, maintenance passes and
+// list surgery pin lane 0, and a lane that fills up is handed to an
+// async flusher goroutine that writes sealed segments to disk while the
+// other lanes keep filling. Seals that queue up behind a slow disk are
+// written as one group commit: the flusher drains everything queued and
+// issues the backend writes concurrently, so back-to-back seals overlap
+// each other as well as the filling of other lanes.
+//
+// Correctness leans on three facts. First, every record is timestamped
+// from the single monotone l.ts counter, so recovery's one-sweep replay
+// reconstructs the same total order no matter how lane seals interleave
+// on disk — a lane is a physical placement choice, not an ordering
+// domain. Second, a sealed-but-unwritten segment (state segSealing)
+// keeps its buffer readable through l.sealing until the disk write
+// completes, so reads never race the pipeline. Third, durability
+// barriers (Flush, EndARU, consolidation, Shutdown) drain the pipeline
+// before reporting success, and the writeSeq/syncedSeq watermark plus
+// each lane's own ping-pong slotSeq keep the volatile-cache overwrite
+// guard exactly as strong as in the single-lane path.
+//
+// Lock hierarchy: the flusher's disk writes run with no instance lock
+// (job buffers are frozen, the overwrite guard is atomics-based);
+// completion takes l.mu exclusively. Everything else here runs under
+// l.mu exclusively. The stripe locks stay above l.mu, unchanged.
+
+// NoSpaceError is the typed ErrNoSpace the append path returns when
+// sealing a full lap of segments never produced room; it records which
+// lane hit the wall. It unwraps to ld.ErrNoSpace, so errors.Is checks
+// keep working.
+type NoSpaceError struct {
+	Lane   int
+	Reason string
+}
+
+func (e *NoSpaceError) Error() string {
+	return fmt.Sprintf("%v: %s (lane %d)", ld.ErrNoSpace, e.Reason, e.Lane)
+}
+
+func (e *NoSpaceError) Unwrap() error { return ld.ErrNoSpace }
+
+// sealJob is one sealed segment travelling through the pipeline: the
+// completed openSegment (buffer and metadata frozen) and the lane it
+// came from. dur is filled by writeSealJob for the inline path's
+// compression-overlap model.
+type sealJob struct {
+	seg  *openSegment
+	lane int
+	dur  time.Duration
+}
+
+// sealPipe is the flusher goroutine's plumbing. jobs is sized so a
+// dispatch under l.mu can never block: at most nSegments seals can
+// exist at once, each owning a distinct segment.
+type sealPipe struct {
+	jobs chan *sealJob
+	done chan struct{}
+}
+
+// setLane makes lane k the append target: l.cur always aliases
+// l.lanes[l.curLane], so the historical single-segment append helpers
+// work unchanged. Callers hold l.mu exclusively. Cond waits release
+// l.mu without restoring curLane, so every appending entry point pins
+// its lane on arrival rather than trusting the previous value.
+func (l *LLD) setLane(k int) {
+	l.curLane = k
+	l.cur = l.lanes[k]
+}
+
+// setCur installs s as the current lane's open segment.
+func (l *LLD) setCur(s *openSegment) {
+	l.cur = s
+	l.lanes[l.curLane] = s
+}
+
+// laneFor returns the lane a write to block b appends to: the block's
+// map stripe folded onto the lanes, so stripe-parallel writers fill
+// different segment buffers.
+func (l *LLD) laneFor(b ld.BlockID) int {
+	return int(uint32(b)%uint32(len(l.shards))) % len(l.lanes)
+}
+
+// openBufFor returns the in-memory segment holding id's bytes — an open
+// lane or a seal still in the pipeline — or nil when the bytes are on
+// disk. Safe under the shared lock: lanes and the sealing map are only
+// mutated under the exclusive lock.
+func (l *LLD) openBufFor(id int) *openSegment {
+	for _, s := range l.lanes {
+		if s != nil && s.id == id {
+			return s
+		}
+	}
+	if len(l.sealing) != 0 {
+		if j, ok := l.sealing[id]; ok {
+			return j.seg
+		}
+	}
+	return nil
+}
+
+// allLanesIdle reports that no lane is open and no seal is in flight or
+// stuck, i.e. the log has no in-memory segment state at all.
+func (l *LLD) allLanesIdle() bool {
+	for _, s := range l.lanes {
+		if s != nil {
+			return false
+		}
+	}
+	return l.sealsInFlight == 0 && len(l.sealing) == 0
+}
+
+// effCleanLow and effCleanHigh scale the cleaner watermarks by the
+// extra open lanes: each lane beyond the first pins one more segment
+// out of the free pool, so the historical thresholds would otherwise
+// tighten as lanes grow. With one lane both equal the configured
+// values.
+func (l *LLD) effCleanLow() int  { return l.opts.CleanLow + len(l.lanes) - 1 }
+func (l *LLD) effCleanHigh() int { return l.opts.CleanHigh + len(l.lanes) - 1 }
+
+// getSegBuf pops a pooled fill buffer (LIFO) or allocates one. The pool
+// holds at most lanes+pipeline-depth buffers. Callers hold l.mu.
+func (l *LLD) getSegBuf() []byte {
+	if n := len(l.segBufPool); n > 0 {
+		b := l.segBufPool[n-1]
+		l.segBufPool = l.segBufPool[:n-1]
+		return b
+	}
+	return make([]byte, l.lay.segmentSize)
+}
+
+// putSegBuf recycles a fill buffer whose segment image is durable (or
+// abandoned). Callers hold l.mu.
+func (l *LLD) putSegBuf(b []byte) { l.segBufPool = append(l.segBufPool, b) }
+
+// signalSpace wakes up to n waiters blocked in awaitFreeSegment — one
+// per segment that just became allocatable, instead of the historical
+// broadcast that woke every waiter to fight over one segment. Callers
+// hold l.mu exclusively.
+func (l *LLD) signalSpace(n int) {
+	if n > l.waiters {
+		n = l.waiters
+	}
+	for ; n > 0; n-- {
+		l.spaceCond.Signal()
+	}
+}
+
+// makeSealJob freezes lane k's open segment into a pipeline job: the
+// summary is encoded, the segment transitions to segSealing (readable
+// from memory, not a cleaning victim, not reusable), and the lane is
+// cleared so it can open a fresh segment immediately. Callers hold
+// l.mu and dispatch the returned job themselves.
+func (l *LLD) makeSealJob(k int) (*sealJob, error) {
+	cur := l.lanes[k]
+	writeTS := l.nextTS()
+	if err := encodeSummary(cur.buf, l.lay, cur.id, writeTS, true, cur.dataOff, cur.entries, cur.tuples); err != nil {
+		return nil, err
+	}
+	l.segs[cur.id].state = segSealing
+	l.segs[cur.id].ts = writeTS
+	l.lanes[k] = nil
+	if k == l.curLane {
+		l.cur = nil
+	}
+	j := &sealJob{seg: cur, lane: k}
+	l.sealing[cur.id] = j
+	l.sealsInFlight++
+	return j, nil
+}
+
+// dispatchSeals sends a group of seal jobs down the pipeline, or writes
+// them inline when the pipeline is off. The async path applies bounded
+// backpressure — a dispatcher racing far ahead of the disk waits for
+// the flusher to catch up — except inside an ARU or a cleaning pass,
+// where releasing l.mu mid-sequence would tear the pass. Callers hold
+// l.mu exclusively.
+func (l *LLD) dispatchSeals(group []*sealJob) error {
+	if len(group) == 0 {
+		return nil
+	}
+	if l.pipe != nil {
+		for l.sealsInFlight-len(group) > len(l.lanes)+1 && !l.aruOpen && !l.cleaning {
+			if l.shut {
+				// The jobs stay registered in l.sealing; Shutdown's
+				// drain or stop deals with them.
+				return ld.ErrShutdown
+			}
+			l.stats.SealWaits++
+			l.flushCond.Wait()
+			if l.pipe == nil {
+				break // pipeline stopped while we slept; write inline
+			}
+		}
+		if l.pipe != nil {
+			// The overlap model charges compression against the
+			// previous write; with the write now off this goroutine,
+			// charge at enqueue using the last measured seal.
+			l.chargeCompression()
+			for _, j := range group {
+				l.pipe.jobs <- j
+			}
+			return nil
+		}
+	}
+	errs := l.writeJobs(group, false)
+	l.completeJobsLocked(group, errs, false)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJobs issues the disk writes for a group of seals. Inline
+// (concurrent=false) it runs sequentially on the caller's goroutine
+// under l.mu, firing the "lane.group" crash site between back-to-back
+// writes so the torture harness can cut power inside a group commit.
+// The flusher passes concurrent=true: one goroutine per job, so the
+// backend sees the group's writes in flight together. The concurrent
+// path never fires crash sites (the hook contract is single-threaded
+// under l.mu).
+func (l *LLD) writeJobs(group []*sealJob, concurrent bool) []error {
+	errs := make([]error, len(group))
+	if concurrent && len(group) > 1 {
+		var wg sync.WaitGroup
+		for i, j := range group {
+			wg.Add(1)
+			go func(i int, j *sealJob) {
+				defer wg.Done()
+				errs[i] = l.writeSealJob(j)
+			}(i, j)
+		}
+		wg.Wait()
+		return errs
+	}
+	for i, j := range group {
+		if i > 0 && !concurrent {
+			l.crashPoint("lane.group")
+		}
+		errs[i] = l.writeSealJob(j)
+	}
+	return errs
+}
+
+// completeJobsLocked retires a written group: successful seals become
+// segLive and return their buffers to the pool; a failed seal stays in
+// l.sealing — its buffer keeps serving reads, the segment is never
+// reused — and the error is latched in sealErr for the next barrier.
+// Callers hold l.mu exclusively (the flusher takes it for this).
+func (l *LLD) completeJobsLocked(group []*sealJob, errs []error, async bool) {
+	for i, j := range group {
+		l.sealsInFlight--
+		if errs[i] != nil {
+			if l.sealErr == nil {
+				l.sealErr = errs[i]
+			}
+			continue
+		}
+		cur := j.seg
+		if !async {
+			// Inline seals keep the historical compression-overlap
+			// accounting: the charge follows its own write.
+			l.lastSealDur = j.dur
+			l.chargeCompression()
+		}
+		l.segs[cur.id].state = segLive
+		delete(l.sealing, cur.id)
+		l.stats.SegmentsSealed++
+		if async {
+			l.stats.AsyncSeals++
+		}
+		l.putSegBuf(cur.buf)
+	}
+	if len(group) > 1 {
+		l.stats.GroupCommits++
+		l.stats.GroupedSeals += int64(len(group))
+	}
+	freeBefore := len(l.freeSegs)
+	l.releaseCooling()
+	l.signalSpace(len(l.freeSegs) - freeBefore)
+	l.flushCond.Broadcast()
+	if l.bgScrub != nil {
+		l.bgScrub.signal() // fresh durable bytes to verify
+	}
+}
+
+// drainSeals blocks until no seal is in flight and surfaces the sticky
+// pipeline error. This is the barrier Flush, EndARU, consolidation and
+// Shutdown stand on. Callers hold l.mu exclusively; the wait releases
+// it, so cached lane state must be re-derived afterwards.
+func (l *LLD) drainSeals() error {
+	for l.sealsInFlight > 0 && l.pipe != nil {
+		l.stats.SealWaits++
+		l.flushCond.Wait()
+	}
+	return l.sealErr
+}
+
+// reclaimCooling rescues an exhausted free pool whose segments are parked
+// behind the pipeline: seals in flight, and cooling victims gated by
+// undurable records in other lanes' open buffers. With synchronous seals
+// (one lane) this state cannot arise — every seal drains cooling on the
+// spot — so ensureRoom only calls it at lanes > 1, and never on a
+// cleaning pass's stack or mid-ARU (neither may release l.mu, which the
+// drain does). Callers hold l.mu; on return free segments exist iff any
+// were recoverable.
+func (l *LLD) reclaimCooling() error {
+	if l.cleaning || l.aruOpen {
+		return nil
+	}
+	if l.sealsInFlight > 0 {
+		if err := l.drainSeals(); err != nil {
+			return err
+		}
+		if err := l.checkOpen(); err != nil {
+			return err
+		}
+	}
+	if len(l.cooling) == 0 {
+		return nil
+	}
+	// Cooling still gated: some dirty lane holds records older than the
+	// newest release barrier. Partial-write every dirty lane — the same
+	// move consolidate makes — so the barriers clear.
+	if l.undurableFloor() < l.coolingTS[len(l.coolingTS)-1] {
+		prev := l.curLane
+		for k := range l.lanes {
+			if s := l.lanes[k]; s != nil && s.dirty {
+				l.setLane(k)
+				if err := l.writePartial(); err != nil {
+					l.setLane(prev)
+					return err
+				}
+			}
+		}
+		l.setLane(prev)
+	}
+	l.releaseCooling()
+	return nil
+}
+
+// startSealPipe starts the flusher goroutine. Called once from Open,
+// after recovery: boot-time seals stay synchronous and deterministic.
+func (l *LLD) startSealPipe() {
+	l.pipe = &sealPipe{
+		jobs: make(chan *sealJob, l.lay.nSegments+1),
+		done: make(chan struct{}),
+	}
+	go l.sealFlusher(l.pipe)
+}
+
+// stopSealPipe drains in-flight seals, stops the flusher, and reverts
+// the instance to inline sealing. Callers hold l.mu exclusively; the
+// drain may release it. Returns the sticky pipeline error, if any.
+func (l *LLD) stopSealPipe() error {
+	if l.pipe == nil {
+		return l.sealErr
+	}
+	err := l.drainSeals()
+	if l.pipe != nil {
+		close(l.pipe.jobs)
+		<-l.pipe.done
+		l.pipe = nil
+	}
+	return err
+}
+
+// sealFlusher is the pipeline goroutine: it blocks for a job, drains
+// everything else already queued into one group commit, writes the
+// group with the backend calls in flight together, and completes it
+// under l.mu. Exits when the jobs channel closes.
+func (l *LLD) sealFlusher(p *sealPipe) {
+	defer close(p.done)
+	for j := range p.jobs {
+		group := []*sealJob{j}
+	coalesce:
+		for {
+			select {
+			case more, ok := <-p.jobs:
+				if !ok {
+					break coalesce
+				}
+				group = append(group, more)
+			default:
+				break coalesce
+			}
+		}
+		errs := l.writeJobs(group, true)
+		l.mu.Lock()
+		l.completeJobsLocked(group, errs, true)
+		l.mu.Unlock()
+	}
+}

@@ -1,0 +1,315 @@
+package lld
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ld"
+)
+
+// These tests cover the multi-lane segment log (Options.SegmentLanes):
+// option resolution, logical equivalence of the same history across lane
+// counts (clean shutdown and crash recovery), lane-count-agnostic recovery
+// of one crashed image, the async group-commit seal pipeline under
+// concurrent writers (meant to run under -race), and the typed ErrNoSpace.
+
+func TestLaneOptionsResolve(t *testing.T) {
+	o := testOptions()
+	o.SegmentLanes = 0
+	o.MapShards = 2
+	if n := o.segmentLanes(); n != 2 {
+		t.Errorf("default lanes with 2 shards resolved to %d, want 2", n)
+	}
+	o.MapShards = 16
+	if n := o.segmentLanes(); n != 4 {
+		t.Errorf("default lanes with 16 shards resolved to %d, want 4 (cap)", n)
+	}
+	o.SegmentLanes = 7
+	if n := o.segmentLanes(); n != 7 {
+		t.Errorf("SegmentLanes=7 resolved to %d", n)
+	}
+	o.SegmentLanes = -1
+	if err := o.validate(512); err == nil {
+		t.Error("negative SegmentLanes passed validation")
+	}
+}
+
+// laneOptions is testOptions with n lanes spread over n stripes (laneFor
+// routes by stripe, so lanes only fill independently when MapShards >= n).
+func laneOptions(n int) Options {
+	o := testOptions()
+	o.MapShards = 4
+	o.SegmentLanes = n
+	return o
+}
+
+// TestLaneLogicalEquivalence replays the reuse-free single-threaded
+// history at 1, 2, and 4 lanes with deterministic inline seals and
+// requires identical logical contents — before shutdown, and again after
+// a clean restart. Lanes change where records land, never what they say.
+func TestLaneLogicalEquivalence(t *testing.T) {
+	var want string
+	for _, n := range []int{1, 2, 4} {
+		o := laneOptions(n)
+		o.SyncLaneSeals = true
+		d, l := newTestLLD(t, 1<<20, o)
+		runReuseFreeWorkload(t, l)
+		if viol := l.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("lanes=%d: invariant violations: %v", n, viol)
+		}
+		if got := l.Stats().SegmentLanes; got != int64(n) {
+			t.Errorf("Stats().SegmentLanes = %d, want %d", got, n)
+		}
+		canon := canonLD(t, l)
+		if n == 1 {
+			want = canon
+		} else if canon != want {
+			t.Errorf("lanes=%d: logical contents differ from lanes=1", n)
+		}
+		if err := l.Shutdown(true); err != nil {
+			t.Fatalf("lanes=%d: shutdown: %v", n, err)
+		}
+		l2, err := Open(d, o)
+		if err != nil {
+			t.Fatalf("lanes=%d: reopen: %v", n, err)
+		}
+		if got := canonLD(t, l2); got != want {
+			t.Errorf("lanes=%d: contents changed across clean restart", n)
+		}
+		if err := l2.Shutdown(true); err != nil {
+			t.Fatalf("lanes=%d: second shutdown: %v", n, err)
+		}
+	}
+}
+
+// TestLaneCrashEquivalence runs the workload at each lane count with the
+// async pipeline enabled, flushes (the durability barrier drains every
+// in-flight seal), crashes, and recovers: the recovered state must equal
+// the pre-crash state, and must agree across lane counts.
+func TestLaneCrashEquivalence(t *testing.T) {
+	var want string
+	for _, n := range []int{1, 2, 4} {
+		o := laneOptions(n)
+		d, l := newTestLLD(t, 1<<20, o)
+		runReuseFreeWorkload(t, l)
+		canon := canonLD(t, l)
+		if n == 1 {
+			want = canon
+		} else if canon != want {
+			t.Errorf("lanes=%d: pre-crash contents differ from lanes=1", n)
+		}
+		if err := l.Shutdown(false); err != nil {
+			t.Fatalf("lanes=%d: crash shutdown: %v", n, err)
+		}
+		l2, err := Open(d, o)
+		if err != nil {
+			t.Fatalf("lanes=%d: recover: %v", n, err)
+		}
+		if viol := l2.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("lanes=%d: post-recovery invariant violations: %v", n, viol)
+		}
+		if got := canonLD(t, l2); got != want {
+			t.Errorf("lanes=%d: recovered contents differ (flushed state must survive)", n)
+		}
+		if err := l2.Shutdown(true); err != nil {
+			t.Fatalf("lanes=%d: shutdown: %v", n, err)
+		}
+	}
+}
+
+// TestLaneRecoveryAgnostic recovers ONE crashed multi-lane image at
+// several lane counts: recovery sweeps summaries in timestamp order and
+// never consults the lane configuration, so the rebuilt state must be
+// identical apart from the free-pool partition.
+func TestLaneRecoveryAgnostic(t *testing.T) {
+	opts := laneOptions(4)
+	opts.SyncLaneSeals = true
+	img := buildCrashedImage(t, 8<<20, opts)
+
+	recover := func(n int) (*LLD, string) {
+		d := disk.New(disk.DefaultConfig(8 << 20))
+		if err := d.Restore(img); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		o := opts
+		o.SegmentLanes = n
+		l, err := Open(d, o)
+		if err != nil {
+			t.Fatalf("open with %d lanes: %v", n, err)
+		}
+		if viol := l.CheckInvariants(); len(viol) != 0 {
+			t.Fatalf("lanes=%d: invariant violations: %v", n, viol)
+		}
+		return l, stripPoolLines(fingerprintInternal(l))
+	}
+
+	base, wantFP := recover(1)
+	wantCanon := canonLD(t, base)
+	for _, n := range []int{2, 4} {
+		l, fp := recover(n)
+		if fp != wantFP {
+			t.Errorf("lanes=%d: recovered state differs from lanes=1:\n--- lanes=1 ---\n%s\n--- lanes=%d ---\n%s",
+				n, wantFP, n, fp)
+		}
+		if got := canonLD(t, l); got != wantCanon {
+			t.Errorf("lanes=%d: logical contents differ from lanes=1", n)
+		}
+	}
+}
+
+// TestLaneConcurrentWritersModel drives concurrent writers through the
+// async seal pipeline — each writer's blocks interleave across stripes
+// and therefore lanes — and checks the final state against the msModel
+// reference, before and after a restart. Under -race this exercises the
+// lane pinning discipline and the flusher's lock-free segment writes.
+func TestLaneConcurrentWritersModel(t *testing.T) {
+	const writers = 4
+	const perWriter = 6
+	const rounds = 20
+
+	o := laneOptions(4)
+	o.BackgroundClean = true
+	_, l := newTestLLD(t, 8<<20, o)
+
+	model := &msModel{
+		lists: make(map[ld.ListID][]ld.BlockID),
+		tag:   make(map[ld.BlockID]byte),
+	}
+	tagOf := func(w, r, i int) byte { return byte(1 + (w*89+r*31+i*7)%255) }
+	lenOf := func(w, r, i int) int { return 64 + (w*509+r*257+i*101)%1900 }
+
+	blocks := make([][]ld.BlockID, writers)
+	for w := 0; w < writers; w++ {
+		hints := ld.ListHints{}
+		if w%2 == 1 {
+			hints.Compress = true
+		}
+		lid := mustNewList(t, l, ld.NilList, hints)
+		model.order = append(model.order, lid)
+		pred := ld.NilBlock
+		for i := 0; i < perWriter; i++ {
+			b := mustNewBlock(t, l, lid, pred)
+			pred = b
+			blocks[w] = append(blocks[w], b)
+			model.lists[lid] = append(model.lists[lid], b)
+			model.tag[b] = tagOf(w, rounds-1, i)
+		}
+		// The point of the test: every writer's set must cross lanes.
+		lanes := map[int]bool{}
+		for _, b := range blocks[w] {
+			lanes[l.laneFor(b)] = true
+		}
+		if len(lanes) < 2 {
+			t.Fatalf("writer %d's blocks all on one lane; test is not exercising cross-lane writes", w)
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i, b := range blocks[w] {
+					data := bytes.Repeat([]byte{tagOf(w, r, i)}, lenOf(w, r, i))
+					if err := l.Write(b, data); err != nil {
+						errs <- fmt.Errorf("writer %d round %d: %w", w, r, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := canonLD(t, l), model.canon(); got != want {
+		t.Errorf("after concurrent rounds: state differs from model\n--- model ---\n%s\n--- ld ---\n%s", want, got)
+	}
+	if viol := l.CheckInvariants(); len(viol) != 0 {
+		t.Fatalf("invariant violations: %v", viol)
+	}
+
+	// The agreed-on state must also be the durable one.
+	_, l2 := restartClean(t, l)
+	if got, want := canonLD(t, l2), model.canon(); got != want {
+		t.Errorf("after restart: state differs from model\n--- model ---\n%s\n--- ld ---\n%s", want, got)
+	}
+	st := l2.Stats()
+	if st.SegmentLanes != 4 {
+		t.Errorf("SegmentLanes stat = %d, want 4", st.SegmentLanes)
+	}
+}
+
+// TestLaneAsyncSealStats verifies the pipeline actually runs: a rewrite
+// workload heavy enough to seal many segments across 4 lanes must record
+// asynchronous seals, and a Flush barrier must leave none in flight.
+func TestLaneAsyncSealStats(t *testing.T) {
+	o := laneOptions(4)
+	_, l := newTestLLD(t, 2<<20, o)
+	lid := mustNewList(t, l, ld.NilList, ld.ListHints{})
+	var blocks []ld.BlockID
+	for i := 0; i < 32; i++ {
+		blocks = append(blocks, mustNewBlock(t, l, lid, ld.NilBlock))
+	}
+	for round := 0; round < 40; round++ {
+		for _, b := range blocks {
+			mustWrite(t, l, b, bytes.Repeat([]byte{byte(round)}, 2048))
+		}
+	}
+	if err := l.Flush(ld.FailPower); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	l.mu.Lock()
+	inFlight := l.sealsInFlight
+	l.mu.Unlock()
+	if inFlight != 0 {
+		t.Errorf("%d seals in flight after Flush barrier", inFlight)
+	}
+	st := l.Stats()
+	if st.AsyncSeals == 0 {
+		t.Error("AsyncSeals = 0: pipeline never ran")
+	}
+	if st.SegmentsSealed < st.AsyncSeals {
+		t.Errorf("SegmentsSealed %d < AsyncSeals %d", st.SegmentsSealed, st.AsyncSeals)
+	}
+	if st.GroupedSeals > 0 && st.GroupCommits == 0 {
+		t.Errorf("GroupedSeals %d with zero GroupCommits", st.GroupedSeals)
+	}
+	if err := l.Shutdown(true); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestLaneNoSpaceError checks the typed error ensureRoom's treadmill
+// bound returns: it must unwrap to ld.ErrNoSpace (the stable API
+// contract callers match with errors.Is) and carry the lane that hit
+// the wall, and the wrapping must survive another fmt.Errorf layer.
+func TestLaneNoSpaceError(t *testing.T) {
+	base := &NoSpaceError{Lane: 3, Reason: "cleaning reclaims no net space"}
+	if !errors.Is(base, ld.ErrNoSpace) {
+		t.Error("NoSpaceError does not unwrap to ErrNoSpace")
+	}
+	wrapped := fmt.Errorf("write block 7: %w", base)
+	if !errors.Is(wrapped, ld.ErrNoSpace) {
+		t.Error("wrapped NoSpaceError does not unwrap to ErrNoSpace")
+	}
+	var nse *NoSpaceError
+	if !errors.As(wrapped, &nse) {
+		t.Fatal("wrapped error does not carry *NoSpaceError")
+	}
+	if nse.Lane != 3 {
+		t.Errorf("NoSpaceError.Lane = %d, want 3", nse.Lane)
+	}
+	if msg := base.Error(); !bytes.Contains([]byte(msg), []byte("lane 3")) {
+		t.Errorf("NoSpaceError message %q does not name the lane", msg)
+	}
+}

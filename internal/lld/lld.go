@@ -77,6 +77,12 @@ const (
 	// instance runs. The scrubber can salvage blocks whose payload CRC
 	// still verifies by rewriting them into the open segment.
 	segQuarantined
+	// segSealing marks a full lane handed to the async seal pipeline: the
+	// in-memory buffer is complete and reads are served from it, but the
+	// disk write has not finished. Not a cleaning victim, not reusable.
+	// Declared after segQuarantined so the on-disk checkpoint encoding of
+	// the earlier states keeps its historical values.
+	segSealing
 )
 
 // segInfo is one entry of the segment usage table: the number of live bytes
@@ -88,9 +94,12 @@ type segInfo struct {
 	state uint8
 }
 
-// openSegment is the segment currently being filled in main memory.
+// openSegment is a segment currently being filled in main memory. With
+// SegmentLanes > 1 several are open at once, one per lane.
 type openSegment struct {
 	id        int
+	lane      int    // lane this segment fills (0 when lanes are off)
+	firstTS   uint64 // l.ts when opened: every record in here has a larger ts
 	buf       []byte
 	dataOff   int
 	entries   []blockEntry
@@ -138,6 +147,13 @@ type Stats struct {
 
 	MapShards     int64 // lock stripes the block map is partitioned into (gauge)
 	ShardedWrites int64 // writes that ran the striped prepare/transform/apply path
+
+	SegmentLanes    int64 // concurrently fillable open segments (gauge)
+	AsyncSeals      int64 // seals written by the pipeline flusher, off the caller's path
+	GroupCommits    int64 // flusher batches that coalesced >1 sealed lane
+	GroupedSeals    int64 // seals written as part of such a batch
+	SealWaits       int64 // mutators that blocked on the seal pipeline (backpressure or barrier)
+	SpuriousWakeups int64 // awaitFreeSegment wakeups that found no free segment
 
 	HintHits   int64
 	HintMisses int64
@@ -216,11 +232,35 @@ type LLD struct {
 
 	segs       []segInfo
 	freeSegs   []int
-	cooling    []int // reusable after the next durable segment write
-	pendingARU []int // freed during an open ARU; cool after EndARU
+	cooling    []int    // reusable once the cleaner's re-logs are durable
+	coolingTS  []uint64 // coolingTS[i]: release barrier for cooling[i] (monotone)
+	pendingARU []int    // freed during an open ARU; cool after EndARU
 
+	// Segment lanes. lanes[k] is lane k's open segment (nil when none);
+	// cur aliases lanes[curLane] so the historical append helpers keep
+	// working unchanged. Every appending entry point pins curLane on
+	// arrival (setLane) — it is not restored around cond waits, so an
+	// explicit pin is the only thing keeping interleaved mutators (the
+	// background cleaner especially) on lane 0. With one lane, lanes[0]
+	// is the historical l.cur and nothing else changes.
+	lanes   []*openSegment
+	curLane int
 	cur     *openSegment
 	aruOpen bool
+
+	// Async seal pipeline (nil when lanes == 1 or SyncLaneSeals is set).
+	// sealing holds segments handed to the flusher, keyed by segment id:
+	// reads are served from the retained buffer until the disk write
+	// completes. sealsInFlight counts entries not yet completed (the
+	// sealing map can briefly lag it on the error path, where a failed
+	// job stays in the map to keep its buffer readable). flushCond (on
+	// mu) is broadcast by the flusher after every completed batch;
+	// sealErr is sticky and surfaced at the next barrier.
+	pipe          *sealPipe
+	sealing       map[int]*sealJob
+	sealsInFlight int
+	flushCond     *sync.Cond
+	sealErr       error
 
 	// Write-ordering watermark for the volatile-cache overwrite guard
 	// (guardSlotOverwrite): writeSeq counts issued backend writes and
@@ -273,10 +313,10 @@ type LLD struct {
 	// incomplete ARU, emitted by Open as the boot's first record.
 	fenceLo, fenceHi uint64
 
-	stats    Stats
-	scratch  []byte // scratch for exclusive-lock paths (cleaner, reorganizer)
-	cleanBuf []byte // reusable victim image for the cleaner
-	segBuf   []byte // reusable fill buffer for the open segment
+	stats      Stats
+	scratch    []byte   // scratch for exclusive-lock paths (cleaner, reorganizer)
+	cleanBuf   []byte   // reusable victim image for the cleaner
+	segBufPool [][]byte // reusable fill buffers for open segments (LIFO)
 
 	// cursorMu guards the per-list ListIndex cursor memo (listInfo.curIdx,
 	// listInfo.curBlk) for holders of the shared lock; exclusive holders
@@ -383,6 +423,9 @@ func Open(dsk disk.Backend, opts Options) (*LLD, error) {
 		scratch:   make([]byte, lay.segmentSize+lay.sectorSize),
 	}
 	l.spaceCond = sync.NewCond(&l.mu)
+	l.flushCond = sync.NewCond(&l.mu)
+	l.lanes = make([]*openSegment, opts.segmentLanes())
+	l.sealing = make(map[int]*sealJob)
 	for i := range l.blocks {
 		l.blocks[i].seg = -1
 	}
@@ -430,6 +473,11 @@ func Open(dsk disk.Backend, opts Options) (*LLD, error) {
 	if opts.BackgroundScrub {
 		l.startBGScrub()
 	}
+	// Start the seal pipeline last: everything up to here (fence emission
+	// included) seals synchronously, keeping boot deterministic.
+	if len(l.lanes) > 1 && !opts.SyncLaneSeals {
+		l.startSealPipe()
+	}
 	return l, nil
 }
 
@@ -463,6 +511,7 @@ func (l *LLD) Stats() Stats {
 	defer l.mu.Unlock()
 	s := l.stats
 	s.MapShards = int64(len(l.shards))
+	s.SegmentLanes = int64(len(l.lanes))
 	return s
 }
 

@@ -20,6 +20,9 @@ func testOptions() Options {
 	o.SummarySize = 4 * 1024
 	o.MaxBlockSize = 4096
 	o.CompressBandwidth = 0
+	// Single lane: the historical tests assert byte-identical platter
+	// layouts; the multi-lane suite lives in lane_test.go.
+	o.SegmentLanes = 1
 	return o
 }
 

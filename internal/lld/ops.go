@@ -170,6 +170,9 @@ func (l *LLD) Write(b ld.BlockID, data []byte) error {
 		// Shutdown takes no stripe locks, so it can land mid-window.
 		return err
 	}
+	// Append to the lane owned by b's map stripe, so stripe-parallel
+	// writers fill different segment buffers (one lane: always lane 0).
+	l.setLane(l.laneFor(b))
 	// Still allocated and on the same list: guaranteed by the stripe lock,
 	// not re-validated.
 	bi = &l.blocks[b]
@@ -215,6 +218,18 @@ func (l *LLD) Write(b ld.BlockID, data []byte) error {
 	l.stats.BlocksWritten++
 	l.stats.UserBytesWritten += int64(len(data))
 	l.stats.ShardedWrites++
+	if l.opts.CrashHook != nil && len(l.lanes) > 1 {
+		// Torture site: power cut while several lanes hold undurable data.
+		dirty := 0
+		for _, s := range l.lanes {
+			if s != nil && s.dirty {
+				dirty++
+			}
+		}
+		if dirty >= 2 {
+			l.crashPoint("lane.multidirty")
+		}
+	}
 	return nil
 }
 
@@ -243,6 +258,7 @@ func (l *LLD) NewBlock(lid ld.ListID, pred ld.BlockID) (ld.BlockID, error) {
 	if err := l.checkOpen(); err != nil {
 		return ld.NilBlock, err
 	}
+	l.setLane(0) // list surgery and allocations log on lane 0
 	if _, err := l.listAt(lid); err != nil {
 		return ld.NilBlock, err
 	}
@@ -302,6 +318,7 @@ func (l *LLD) DeleteBlock(b ld.BlockID, lid ld.ListID, predHint ld.BlockID) erro
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	bi, err := l.blockAt(b)
 	if err != nil {
 		return err
@@ -336,6 +353,7 @@ func (l *LLD) NewList(predList ld.ListID, hints ld.ListHints) (ld.ListID, error)
 	if err := l.checkOpen(); err != nil {
 		return ld.NilList, err
 	}
+	l.setLane(0)
 	if predList != ld.NilList {
 		if _, err := l.listAt(predList); err != nil {
 			return ld.NilList, err
@@ -369,6 +387,7 @@ func (l *LLD) DeleteList(lid ld.ListID, predHint ld.ListID) error {
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if _, err := l.listAt(lid); err != nil {
 		return err
 	}
@@ -413,6 +432,7 @@ func (l *LLD) MoveBlocks(first, last ld.BlockID, srcList, dstList ld.ListID, pre
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if _, err := l.listAt(srcList); err != nil {
 		return err
 	}
@@ -495,6 +515,9 @@ func (l *LLD) MoveBlocks(first, last ld.BlockID, srcList, dstList ld.ListID, pre
 		l.aruOpen = false
 		if err == nil {
 			l.emitTuple(tCommit)
+			for range l.pendingARU {
+				l.coolingTS = append(l.coolingTS, l.ts)
+			}
 			l.cooling = append(l.cooling, l.pendingARU...)
 			l.pendingARU = l.pendingARU[:0]
 		}
@@ -509,6 +532,7 @@ func (l *LLD) MoveList(lid ld.ListID, newPred ld.ListID, predHint ld.ListID) err
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if _, err := l.listAt(lid); err != nil {
 		return err
 	}
@@ -534,36 +558,53 @@ func (l *LLD) MoveList(lid ld.ListID, newPred ld.ListID, predHint ld.ListID) err
 }
 
 // FlushList implements ld.Disk: it makes all previous writes to blocks of
-// lid durable, providing an easy fsync (paper §2.2). If the open segment
-// holds nothing related to the list, it is a no-op.
+// lid durable, providing an easy fsync (paper §2.2). If no open lane
+// holds anything related to the list, it is a no-op.
 func (l *LLD) FlushList(lid ld.ListID) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if _, err := l.listAt(lid); err != nil {
 		return err
 	}
-	if l.cur == nil || !l.segmentTouchesList(lid) {
+	// Seals in the pipeline may carry the list's records; they only count
+	// as durable once written, so barrier on them before deciding the
+	// open lanes hold nothing of interest.
+	if err := l.drainSeals(); err != nil {
+		return err
+	}
+	if err := l.checkOpen(); err != nil { // the drain releases l.mu
+		return err
+	}
+	touched := false
+	for _, s := range l.lanes {
+		if s != nil && l.segmentTouchesList(s, lid) {
+			touched = true
+			break
+		}
+	}
+	if !touched {
 		return nil
 	}
 	return l.flushLocked()
 }
 
-// segmentTouchesList reports whether the open segment carries not-yet-
+// segmentTouchesList reports whether the open segment s carries not-yet-
 // durable data or tuples involving list lid. Callers hold l.mu.
-func (l *LLD) segmentTouchesList(lid ld.ListID) bool {
-	for _, e := range l.cur.entries {
-		if e.ts <= l.cur.durableTS {
+func (l *LLD) segmentTouchesList(s *openSegment, lid ld.ListID) bool {
+	for _, e := range s.entries {
+		if e.ts <= s.durableTS {
 			continue
 		}
 		if int(e.bid) < len(l.blocks) && l.blocks[e.bid].lid == lid {
 			return true
 		}
 	}
-	for _, t := range l.cur.tuples {
-		if t.ts <= l.cur.durableTS {
+	for _, t := range s.tuples {
+		if t.ts <= s.durableTS {
 			continue
 		}
 		switch t.kind {
@@ -607,6 +648,7 @@ func (l *LLD) EndARU() error {
 	if !l.aruOpen {
 		return ld.ErrNoARU
 	}
+	l.setLane(0)
 	if err := l.ensureRoom(0, tupleSpace(tCommit)); err != nil {
 		return err
 	}
@@ -614,10 +656,17 @@ func (l *LLD) EndARU() error {
 	l.emitTuple(tCommit)
 	l.stats.ARUs++
 	// Segments freed during the unit may now cool; they become reusable
-	// after the next durable write.
+	// once everything logged so far (the commit tuple included) is durable.
+	for range l.pendingARU {
+		l.coolingTS = append(l.coolingTS, l.ts)
+	}
 	l.cooling = append(l.cooling, l.pendingARU...)
 	l.pendingARU = l.pendingARU[:0]
-	return nil
+	// Barrier on the pipeline only after the unit is closed: seals
+	// dispatched during the ARU skipped backpressure (a cond wait inside
+	// the unit would let interleaved mutators be tagged into it), so
+	// settle the debt here, with the commit already logged.
+	return l.drainSeals()
 }
 
 // Flush implements ld.Disk using the paper's partial-segment strategy
@@ -633,26 +682,60 @@ func (l *LLD) Flush(failures ld.FailureSet) error {
 	if failures == ld.FailNone {
 		return nil
 	}
+	l.setLane(0)
 	return l.flushLocked()
 }
 
+// flushLocked makes every lane's contents durable: full lanes seal (as
+// one group commit when several are full), the rest write partial
+// images synchronously. The pipeline is drained first and again after
+// dispatching the group, so success means every record previously
+// acknowledged is on the platter (or in NVRAM). Callers hold l.mu
+// exclusively.
 func (l *LLD) flushLocked() error {
 	l.stats.Flushes++
-	cur := l.cur
-	if cur == nil || (!cur.dirty && len(cur.entries) == 0 && len(cur.tuples) == 0) {
-		return nil
+	if err := l.drainSeals(); err != nil {
+		return err
 	}
-	fill := float64(cur.dataOff) / float64(l.lay.dataCap())
-	if fill >= l.opts.FlushThreshold {
-		return l.sealSegment()
+	var group []*sealJob
+	for k := range l.lanes {
+		l.setLane(k)
+		cur := l.lanes[k]
+		if cur == nil || (!cur.dirty && len(cur.entries) == 0 && len(cur.tuples) == 0) {
+			continue
+		}
+		fill := float64(cur.dataOff) / float64(l.lay.dataCap())
+		if fill >= l.opts.FlushThreshold {
+			j, err := l.makeSealJob(k)
+			if err != nil {
+				l.setLane(0)
+				return err
+			}
+			group = append(group, j)
+			continue
+		}
+		// NVRAM absorption (§5.3): a small partial segment lands in modeled
+		// battery-backed memory instead of costing a disk operation; the
+		// normal seal supersedes it in place later.
+		var err error
+		if l.opts.NVRAMBytes > 0 && cur.dataOff+cur.sumSize <= l.opts.NVRAMBytes {
+			err = l.writePartialNVRAM()
+		} else {
+			err = l.writePartial()
+		}
+		if err != nil {
+			l.setLane(0)
+			return err
+		}
 	}
-	// NVRAM absorption (§5.3): a small partial segment lands in modeled
-	// battery-backed memory instead of costing a disk operation; the
-	// normal seal supersedes it in place later.
-	if l.opts.NVRAMBytes > 0 && cur.dataOff+cur.sumSize <= l.opts.NVRAMBytes {
-		return l.writePartialNVRAM()
+	l.setLane(0)
+	if len(group) > 0 {
+		if err := l.dispatchSeals(group); err != nil {
+			return err
+		}
+		return l.drainSeals()
 	}
-	return l.writePartial()
+	return nil
 }
 
 // Reserve implements ld.Disk.
@@ -705,6 +788,7 @@ func (l *LLD) SwapContents(a, b ld.BlockID) error {
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if _, err := l.blockAt(a); err != nil {
 		return err
 	}
@@ -849,25 +933,46 @@ func (l *LLD) Shutdown(clean bool) error {
 	if err := l.checkOpen(); err != nil {
 		return err
 	}
+	l.setLane(0)
 	if !clean {
+		// Simulated crash: mark the instance shut (dispatchers blocked on
+		// backpressure exit with ErrShutdown), then join the flusher so
+		// no goroutine outlives the instance. Its errors are irrelevant —
+		// the disk is in whatever state the crash left it.
 		l.shut = true
+		l.stopSealPipe()
 		return nil
 	}
 	if l.aruOpen {
 		return ld.ErrARUOpen
 	}
-	if l.cur != nil {
-		if len(l.cur.entries) > 0 || len(l.cur.tuples) > 0 || l.cur.dirty {
+	// Drain and stop the pipeline first: a seal that never reached the
+	// platter must refuse the clean checkpoint, not hide behind it.
+	if err := l.stopSealPipe(); err != nil {
+		return err
+	}
+	if err := l.checkOpen(); err != nil { // the drain releases l.mu
+		return err
+	}
+	for k := range l.lanes {
+		l.setLane(k)
+		cur := l.lanes[k]
+		if cur == nil {
+			continue
+		}
+		if len(cur.entries) > 0 || len(cur.tuples) > 0 || cur.dirty {
 			if err := l.sealSegment(); err != nil {
 				return err
 			}
 		} else {
-			// Return the untouched segment to the pool.
-			l.segs[l.cur.id].state = segFree
-			l.freeSegs = append(l.freeSegs, l.cur.id)
-			l.cur = nil
+			// Return the untouched segment (and its buffer) to the pools.
+			l.segs[cur.id].state = segFree
+			l.freeSegs = append(l.freeSegs, cur.id)
+			l.setCur(nil)
+			l.putSegBuf(cur.buf)
 		}
 	}
+	l.setLane(0)
 	l.releaseCooling()
 	// The complete checkpoint is what lets the next boot skip the sweep,
 	// so everything it describes — and the checkpoint itself — must be on

@@ -134,6 +134,27 @@ type Options struct {
 	// 0 picks min(GOMAXPROCS, 64). A runtime knob, never written to disk.
 	MapShards int
 
+	// SegmentLanes is the number of concurrently fillable open segments
+	// ("lanes"). A write appends to the lane picked by its block's map
+	// stripe, so stripe-parallel writers fill different in-memory segment
+	// buffers; behind the lanes an async seal pipeline writes completed
+	// segments to disk while other lanes keep filling, coalescing
+	// back-to-back seals into group commits. 1 disables the lanes and the
+	// pipeline and reproduces the historical single-open-segment path bit
+	// for bit; 0 picks min(mapShards, 4). A runtime knob, never written
+	// to disk: recovery's one-sweep replay orders records by timestamp,
+	// so interleaved lane seals need no on-disk marker.
+	SegmentLanes int
+
+	// SyncLaneSeals forces lane seals to be written inline under the
+	// instance lock instead of handing them to the async flusher
+	// goroutine. Group commit still happens — a Flush with several full
+	// lanes writes them back to back — but deterministically on the
+	// caller's goroutine, which is what schedule-directed crash testing
+	// needs. Ignored when SegmentLanes resolves to 1 (that path is
+	// always synchronous). A runtime knob, never written to disk.
+	SyncLaneSeals bool
+
 	// BackgroundClean moves watermark-triggered cleaning off the foreground
 	// path: the instance owns a goroutine that claims the exclusive lock
 	// for at most CleanStepSegments victim segments at a time and yields
@@ -233,6 +254,9 @@ func (o Options) validate(sectorSize int) error {
 	if o.MapShards < 0 {
 		return fmt.Errorf("lld: map shards %d negative", o.MapShards)
 	}
+	if o.SegmentLanes < 0 {
+		return fmt.Errorf("lld: segment lanes %d negative", o.SegmentLanes)
+	}
 	return nil
 }
 
@@ -261,6 +285,18 @@ func (o Options) mapShards() int {
 		n = runtime.GOMAXPROCS(0)
 		if n > 64 {
 			n = 64
+		}
+	}
+	return n
+}
+
+// segmentLanes resolves the configured lane count to an effective one.
+func (o Options) segmentLanes() int {
+	n := o.SegmentLanes
+	if n <= 0 {
+		n = o.mapShards()
+		if n > 4 {
+			n = 4
 		}
 	}
 	return n

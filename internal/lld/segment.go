@@ -2,14 +2,16 @@ package lld
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/disk"
 	"repro/internal/ld"
 )
 
-// openNewSegment takes a free segment and makes it the fill target.
-// Callers hold l.mu and must have ensured a free segment exists.
+// openNewSegment takes a free segment and makes it the current lane's
+// fill target. Callers hold l.mu and must have ensured a free segment
+// exists.
 func (l *LLD) openNewSegment() error {
 	if l.cur != nil {
 		return fmt.Errorf("lld: internal: segment already open")
@@ -21,19 +23,19 @@ func (l *LLD) openNewSegment() error {
 	l.freeSegs = l.freeSegs[:len(l.freeSegs)-1]
 	l.segs[id].state = segOpen
 	l.segs[id].live = 0
-	// Reuse one fill buffer for the lifetime of the LLD: only one segment
-	// is ever open, and sealed images have already reached the disk.
-	// Stale bytes between blocks are never read back (entries bound every
-	// read) so the buffer does not need zeroing.
-	if l.segBuf == nil {
-		l.segBuf = make([]byte, l.lay.segmentSize)
-	}
-	l.cur = &openSegment{
+	// Fill buffers are pooled (getSegBuf): a lane filling while earlier
+	// seals are still in the pipeline needs its own buffer, but a sealed
+	// buffer is recycled as soon as its disk write completes. Stale bytes
+	// between blocks are never read back (entries bound every read) so
+	// buffers need no zeroing.
+	l.setCur(&openSegment{
 		id:      id,
-		buf:     l.segBuf,
+		lane:    l.curLane,
+		firstTS: l.ts,
+		buf:     l.getSegBuf(),
 		sumSize: summaryHeaderSize,
 		slotSeq: [2]int64{-1, -1},
-	}
+	})
 	return nil
 }
 
@@ -45,7 +47,12 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 		return fmt.Errorf("%w: request larger than a segment", ld.ErrTooLarge)
 	}
 	seals := 0
+	lane := l.curLane
 	for {
+		// Waits below (awaitFreeSegment, pipeline backpressure) release
+		// l.mu, and interleaved mutators repoint the current lane; re-pin
+		// ours every lap.
+		l.setLane(lane)
 		if l.cur != nil {
 			fits := l.cur.dataOff+dataLen <= l.lay.dataCap() &&
 				l.cur.sumSize+sumLen <= l.lay.summarySize
@@ -57,9 +64,10 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 			// treadmilling: each pass relocates as many bytes as it frees
 			// and hands back an already-full segment, so the disk has no
 			// net reclaimable space. Surface that as ErrNoSpace instead of
-			// looping forever.
-			if seals > l.lay.nSegments+1 {
-				return fmt.Errorf("%w: cleaning reclaims no net space", ld.ErrNoSpace)
+			// looping forever. The other open lanes extend the lap: each
+			// may hand this loop one more already-full segment.
+			if seals > l.lay.nSegments+len(l.lanes)+1 {
+				return &NoSpaceError{Lane: lane, Reason: "cleaning reclaims no net space"}
 			}
 			if err := l.sealSegment(); err != nil {
 				return err
@@ -72,6 +80,22 @@ func (l *LLD) ensureRoom(dataLen, sumLen int) error {
 			return err
 		}
 		if l.cur == nil {
+			if len(l.lanes) > 1 && len(l.freeSegs) <= l.cleanReserve() &&
+				(l.sealsInFlight > 0 || len(l.cooling) > 0) {
+				// The pool looks empty but its segments are in the seal
+				// pipeline or gated in cooling; recover them rather than
+				// reporting a full disk. The drain releases l.mu, so loop
+				// to re-pin the lane and re-evaluate — but only on
+				// progress, or a stuck cooling queue would spin here.
+				freeBefore := len(l.freeSegs)
+				if err := l.reclaimCooling(); err != nil {
+					return err
+				}
+				l.setLane(lane)
+				if len(l.freeSegs) > freeBefore {
+					continue
+				}
+			}
 			if len(l.freeSegs) <= l.cleanReserve() {
 				// Exhausted down to the cleaner's reserve. With a background
 				// cleaner this blocks until it frees a segment; otherwise
@@ -301,17 +325,28 @@ func (l *LLD) guardSlotOverwrite(cur *openSegment, slot int) error {
 	return l.dskSync()
 }
 
-// sealSegment writes the open segment to disk as a full segment in one disk
-// operation (paper §3) and retires it. Callers hold l.mu.
+// sealSegment retires the current lane's open segment as a full segment
+// (paper §3): with the pipeline off the disk write happens inline on this
+// goroutine, otherwise the completed buffer is handed to the flusher and
+// this returns as soon as the job is enqueued. Callers hold l.mu.
 func (l *LLD) sealSegment() error {
-	cur := l.cur
-	if cur == nil {
+	if l.cur == nil {
 		return nil
 	}
-	writeTS := l.nextTS()
-	if err := encodeSummary(cur.buf, l.lay, cur.id, writeTS, true, cur.dataOff, cur.entries, cur.tuples); err != nil {
+	job, err := l.makeSealJob(l.curLane)
+	if err != nil {
 		return err
 	}
+	return l.dispatchSeals([]*sealJob{job})
+}
+
+// writeSealJob issues the disk writes of one sealed segment. The buffer
+// and metadata in the job are frozen, and the overwrite guard and the
+// write-ordering watermark are atomics-based, so this is safe both under
+// l.mu (inline seals) and from the flusher's goroutines (which never hold
+// it).
+func (l *LLD) writeSealJob(j *sealJob) error {
+	cur := j.seg
 	start := l.dsk.Now()
 	// A mostly-full segment is written as one long contiguous operation
 	// (the paper's normal case) when the target summary slot directly
@@ -341,17 +376,7 @@ func (l *LLD) sealSegment() error {
 			return err
 		}
 	}
-	l.lastSealDur = l.dsk.Now() - start
-	l.chargeCompression()
-
-	l.segs[cur.id].state = segLive
-	l.segs[cur.id].ts = writeTS
-	l.cur = nil
-	l.stats.SegmentsSealed++
-	l.releaseCooling()
-	if l.bgScrub != nil {
-		l.bgScrub.signal() // fresh durable bytes to verify
-	}
+	j.dur = l.dsk.Now() - start
 	return nil
 }
 
@@ -426,14 +451,58 @@ func (l *LLD) releaseCooling() {
 	if len(l.cooling) == 0 {
 		return
 	}
+	// A victim is releasable only once every record the cleaner re-logged
+	// on its behalf has reached the platter. Those records all carry a ts
+	// at or below the barrier recorded when the victim was retired, so the
+	// check is a watermark comparison: undurableFloor is a lower bound on
+	// the ts of any record NOT yet durable (in a dirty lane buffer above
+	// its last partial write, or in a seal still in the pipeline). The
+	// barriers are monotone, so a prefix of the cooling queue releases.
+	floor := l.undurableFloor()
+	n := 0
+	for n < len(l.cooling) && l.coolingTS[n] <= floor {
+		n++
+	}
+	if n == 0 {
+		return
+	}
 	if err := l.dskSync(); err != nil {
 		return
 	}
-	for _, id := range l.cooling {
+	for _, id := range l.cooling[:n] {
 		l.segs[id].state = segFree
 		l.freeSegs = append(l.freeSegs, id)
 	}
-	l.cooling = l.cooling[:0]
+	l.cooling = append(l.cooling[:0], l.cooling[n:]...)
+	l.coolingTS = append(l.coolingTS[:0], l.coolingTS[n:]...)
+}
+
+// undurableFloor returns a ts such that every record with an equal or
+// smaller ts is durably on the platter. A dirty open lane holds undurable
+// records above max(firstTS, durableTS); a seal in the pipeline likewise
+// until its disk write completes (partials made before the seal keep
+// their coverage). Returns MaxUint64 when nothing undurable exists.
+// Callers hold l.mu.
+func (l *LLD) undurableFloor() uint64 {
+	floor := uint64(math.MaxUint64)
+	bound := func(s *openSegment) {
+		lo := s.firstTS
+		if s.durableTS > lo {
+			lo = s.durableTS
+		}
+		if lo < floor {
+			floor = lo
+		}
+	}
+	for _, s := range l.lanes {
+		if s != nil && s.dirty {
+			bound(s)
+		}
+	}
+	for _, j := range l.sealing {
+		bound(j.seg)
+	}
+	return floor
 }
 
 // retireSegment marks a cleaned segment as freed, honoring ARU and cooling
@@ -445,6 +514,7 @@ func (l *LLD) retireSegment(id int) {
 		l.pendingARU = append(l.pendingARU, id)
 	} else {
 		l.cooling = append(l.cooling, id)
+		l.coolingTS = append(l.coolingTS, l.ts)
 	}
 }
 
@@ -478,8 +548,8 @@ func (l *LLD) readStored(bi *blockInfo, scratch *[]byte) ([]byte, error) {
 	if bi.stored == 0 {
 		return nil, nil
 	}
-	if l.cur != nil && int(bi.seg) == l.cur.id {
-		return l.cur.buf[bi.off : bi.off+bi.stored], nil
+	if s := l.openBufFor(int(bi.seg)); s != nil {
+		return s.buf[bi.off : bi.off+bi.stored], nil
 	}
 	ss := l.lay.sectorSize
 	segBase := l.lay.segOff(int(bi.seg))
@@ -521,8 +591,8 @@ func (l *LLD) readStoredVerified(bi *blockInfo, scratch *[]byte) (data []byte, v
 	if bi.stored == 0 {
 		return nil, true, nil
 	}
-	if l.cur != nil && int(bi.seg) == l.cur.id {
-		return l.cur.buf[bi.off : bi.off+bi.stored], true, nil
+	if s := l.openBufFor(int(bi.seg)); s != nil {
+		return s.buf[bi.off : bi.off+bi.stored], true, nil
 	}
 	mr, multi := l.dsk.(disk.MultiReader)
 	if !multi || l.opts.DisableReadVerify {

@@ -35,6 +35,7 @@ const (
 	KindMirror  = "mirror"  // RAID-1 over cached legs
 	KindReclaim = "reclaim" // quarantine image, then crash inside Scrub/ReclaimQuarantined
 	KindRebuild = "rebuild" // 2-way mirror, crash mid-rebuild with concurrent writes
+	KindLanes   = "lanes"   // single cached disk, Legs segment lanes (inline seals for determinism)
 )
 
 // Config parameterizes one torture run (one topology, one seed).
@@ -86,7 +87,7 @@ func (c *Config) fillDefaults() {
 
 func (c Config) legCount() int {
 	switch c.Kind {
-	case KindLLD, KindReclaim:
+	case KindLLD, KindReclaim, KindLanes:
 		return 1
 	case KindRebuild:
 		return 2
@@ -103,6 +104,7 @@ func DefaultConfigs(seed int64) []Config {
 		{Kind: KindMirror, Legs: 2, Seed: seed},
 		{Kind: KindReclaim, Seed: seed},
 		{Kind: KindRebuild, Seed: seed},
+		{Kind: KindLanes, Legs: 2, Seed: seed},
 	}
 }
 
@@ -311,7 +313,7 @@ func (r *rig) compose(afterRestart bool) error {
 		backends[i] = c
 	}
 	switch r.cfg.Kind {
-	case KindLLD, KindReclaim:
+	case KindLLD, KindReclaim, KindLanes:
 		r.back = r.caches[0]
 	case KindStripe:
 		s, err := mdisk.NewStripe(backends...)
@@ -359,7 +361,23 @@ func tortureOptions(hook func(string)) lld.Options {
 	o.MaxBlockSize = 4096
 	o.CompressBandwidth = 0
 	o.MapShards = 1
+	o.SegmentLanes = 1
 	o.CrashHook = hook
+	return o
+}
+
+// options is tortureOptions specialized to the config: the lanes
+// topology spreads the single-threaded workload over Legs lanes (one
+// map stripe each) with inline seals, so every lane interleaving —
+// including the multi-dirty-lane and inline group-commit crash sites —
+// stays bit-deterministic.
+func (c Config) options(hook func(string)) lld.Options {
+	o := tortureOptions(hook)
+	if c.Kind == KindLanes {
+		o.MapShards = c.Legs
+		o.SegmentLanes = c.Legs
+		o.SyncLaneSeals = true
+	}
 	return o
 }
 
@@ -407,7 +425,7 @@ func runReference(cfg Config) (span int64, sites map[string]int, err error) {
 	}
 	defer r.close()
 	sched := newScheduler(r.rail, cfg.Seed, point{})
-	opts := tortureOptions(sched.hook)
+	opts := cfg.options(sched.hook)
 	if err := lld.Format(r.back, opts); err != nil {
 		return 0, nil, fmt.Errorf("reference format: %w", err)
 	}
@@ -514,7 +532,7 @@ func runPoint(cfg Config, pt point) error {
 	}
 	defer r.close()
 	sched := newScheduler(r.rail, cfg.Seed, pt)
-	opts := tortureOptions(sched.hook)
+	opts := cfg.options(sched.hook)
 	if err := lld.Format(r.back, opts); err != nil {
 		return fmt.Errorf("format: %w", err)
 	}
@@ -566,7 +584,7 @@ func recoverAndVerify(cfg Config, r *rig, m *model, base map[ld.BlockID]obs) err
 // verifyRecovered runs recovery on the already-recomposed rig and
 // checks the result.
 func verifyRecovered(cfg Config, r *rig, m *model, base map[ld.BlockID]obs) error {
-	opts := tortureOptions(nil)
+	opts := cfg.options(nil)
 	l2, err := lld.Open(r.back, opts)
 	if err != nil {
 		return fmt.Errorf("recovery failed: %w", err)
