@@ -192,8 +192,16 @@ func (l *LLD) dispatchSeals(group []*sealJob) error {
 	if l.pipe != nil {
 		for l.sealsInFlight-len(group) > len(l.lanes)+1 && !l.aruOpen && !l.cleaning {
 			if l.shut {
-				// The jobs stay registered in l.sealing; Shutdown's
-				// drain or stop deals with them.
+				// Simulated crash while we were parked: abandon the
+				// group. The jobs must be unregistered here — they will
+				// never reach completeJobsLocked, and Shutdown's drain
+				// spins on sealsInFlight, so leaving them registered
+				// would deadlock the shutdown.
+				for _, j := range group {
+					delete(l.sealing, j.seg.id)
+					l.sealsInFlight--
+				}
+				l.flushCond.Broadcast()
 				return ld.ErrShutdown
 			}
 			l.stats.SealWaits++
@@ -269,10 +277,12 @@ func (l *LLD) completeJobsLocked(group []*sealJob, errs []error, async bool) {
 			continue
 		}
 		cur := j.seg
+		// Both paths record the measured write so the next enqueue-time
+		// chargeCompression works from a current seal duration.
+		l.lastSealDur = j.dur
 		if !async {
 			// Inline seals keep the historical compression-overlap
 			// accounting: the charge follows its own write.
-			l.lastSealDur = j.dur
 			l.chargeCompression()
 		}
 		l.segs[cur.id].state = segLive

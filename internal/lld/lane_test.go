@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/ld"
@@ -286,6 +288,178 @@ func TestLaneAsyncSealStats(t *testing.T) {
 	}
 	if err := l.Shutdown(true); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// gatedBackend wraps a disk.Disk and, once armed, parks every WriteAt
+// until the gate channel is closed — a disk stalled under the seal
+// pipeline, so backpressure builds deterministically. Each gated write
+// drops a token on started before parking, so the test can observe the
+// flusher beginning a write.
+type gatedBackend struct {
+	*disk.Disk
+	armed   atomic.Bool
+	started chan struct{}
+	gate    chan struct{}
+}
+
+func (g *gatedBackend) WriteAt(p []byte, off int64) error {
+	if g.armed.Load() {
+		select {
+		case g.started <- struct{}{}:
+		default:
+		}
+		<-g.gate
+	}
+	return g.Disk.WriteAt(p, off)
+}
+
+// TestLaneShutdownUnblocksBackpressure regresses a shutdown deadlock:
+// a dispatcher parked in dispatchSeals' backpressure wait must
+// unregister its seal group when an unclean Shutdown flips l.shut —
+// the orphaned jobs would otherwise never reach completeJobsLocked
+// (the only sealsInFlight decrement), and Shutdown's pipeline drain
+// would spin on the count forever.
+//
+// The sequencing matters. The flusher must stall holding a ONE-job
+// group with more seals queued behind it: when the gate opens, that
+// group's completion then leaves sealsInFlight above the backpressure
+// threshold, so the parked dispatchers wake into the l.shut branch
+// instead of a cleared pipeline. The test primes that state before
+// letting concurrent writers pile up.
+func TestLaneShutdownUnblocksBackpressure(t *testing.T) {
+	o := laneOptions(2)
+	g := &gatedBackend{
+		Disk:    disk.New(disk.DefaultConfig(4 << 20)),
+		started: make(chan struct{}, 64),
+		gate:    make(chan struct{}),
+	}
+	if err := Format(g, o); err != nil {
+		t.Fatalf("format: %v", err)
+	}
+	l, err := Open(g, o)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// Each writer owns blocks on a single distinct stripe: a writer parked
+	// in the backpressure wait keeps holding its stripe lock, so writers
+	// sharing a stripe would serialize and only one could ever park. The
+	// priming writes use stripe writers (the last stripe), keeping the
+	// writers' stripes untouched.
+	const writers = 3
+	blocks := make([][]ld.BlockID, writers+1)
+	lid := mustNewList(t, l, ld.NilList, ld.ListHints{})
+	for short := true; short; {
+		b := mustNewBlock(t, l, lid, ld.NilBlock)
+		if w := int(uint32(b) % uint32(len(l.shards))); w < len(blocks) && len(blocks[w]) < 8 {
+			blocks[w] = append(blocks[w], b)
+		}
+		short = false
+		for w := range blocks {
+			if len(blocks[w]) < 8 {
+				short = true
+			}
+		}
+	}
+
+	// Prime: produce exactly one seal and wait for the flusher to begin
+	// writing it. It grabbed the job when the queue held nothing else, so
+	// it is now stalled on the gate with a group of one.
+	g.armed.Store(true)
+	data := bytes.Repeat([]byte{0xAA}, 2048)
+	for sealed := false; !sealed; {
+		for _, b := range blocks[writers] {
+			mustWrite(t, l, b, data)
+			l.mu.Lock()
+			sealed = l.sealsInFlight >= 1
+			l.mu.Unlock()
+			if sealed {
+				break
+			}
+		}
+	}
+	select {
+	case <-g.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flusher never started writing the primed seal")
+	}
+
+	writerErrs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			data := bytes.Repeat([]byte{byte(w + 1)}, 2048)
+			for {
+				for _, b := range blocks[w] {
+					if err := l.Write(b, data); err != nil {
+						writerErrs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Behind the stalled one-job group, the writers dispatch seals 2..4
+	// into the queue and park on seals 5..7 (the backpressure threshold
+	// at two lanes is four in flight). Wait for all three to park.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l.mu.Lock()
+		parked := l.stats.SealWaits >= writers && l.sealsInFlight >= 2*len(l.lanes)+writers
+		l.mu.Unlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backpressure never built up behind the gated disk")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- l.Shutdown(false) }()
+
+	// Release the disk only after the crash flag is up, so parked
+	// dispatchers wake into the shut case, not a cleared pipeline.
+	for {
+		l.mu.Lock()
+		shut := l.shut
+		l.mu.Unlock()
+		if shut {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown(false) never marked the instance shut")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(g.gate)
+
+	select {
+	case err := <-shutDone:
+		if err != nil {
+			t.Fatalf("Shutdown(false): %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown(false) deadlocked draining the seal pipeline")
+	}
+
+	for w := 0; w < writers; w++ {
+		select {
+		case err := <-writerErrs:
+			if !errors.Is(err, ld.ErrShutdown) {
+				t.Errorf("writer error = %v, want ErrShutdown", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("writer never unblocked after unclean shutdown")
+		}
+	}
+	l.mu.Lock()
+	inFlight := l.sealsInFlight
+	l.mu.Unlock()
+	if inFlight != 0 {
+		t.Errorf("%d seals still registered after shutdown", inFlight)
 	}
 }
 

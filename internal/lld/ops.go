@@ -697,6 +697,9 @@ func (l *LLD) flushLocked() error {
 	if err := l.drainSeals(); err != nil {
 		return err
 	}
+	if err := l.checkOpen(); err != nil { // the drain releases l.mu
+		return err
+	}
 	var group []*sealJob
 	for k := range l.lanes {
 		l.setLane(k)
@@ -733,7 +736,10 @@ func (l *LLD) flushLocked() error {
 		if err := l.dispatchSeals(group); err != nil {
 			return err
 		}
-		return l.drainSeals()
+		if err := l.drainSeals(); err != nil {
+			return err
+		}
+		return l.checkOpen() // the drain releases l.mu
 	}
 	return nil
 }
